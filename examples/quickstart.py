@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: install a plug-in into a running AUTOSAR vehicle.
+
+Builds the paper's example platform (trusted server + smartphone + a
+two-ECU model car), deploys the remote-control APP through the server's
+web services, and drives the car from the phone.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.fes import build_example_platform
+from repro.sim import SECOND, format_time
+
+
+def main() -> None:
+    platform = build_example_platform(seed=42)
+
+    print("== boot: ECUs start, ECM dials the trusted server ==")
+    platform.boot()
+    platform.run(1 * SECOND)
+    print(f"   ECM connected to server: {platform.vehicle.ecm_pirte.connected}")
+
+    print("== user clicks 'install remote-control' on the web portal ==")
+    t0 = platform.sim.now
+    result = platform.deploy_remote_control()
+    print(f"   compatibility check passed: {result.ok}")
+    print(f"   packages pushed: {result.pushed_messages}")
+    platform.run(3 * SECOND)
+    status = platform.server.web.installation_status(
+        platform.vehicle.vin, "remote-control"
+    )
+    print(f"   installation status: {status.value}")
+    print(f"   (wall-clock in the car's world: {format_time(platform.sim.now - t0)})")
+
+    ecm = platform.vehicle.ecm_pirte
+    pirte2 = platform.vehicle.pirte_of("swc2")
+    print(f"   plug-ins on ECM SW-C:  {sorted(ecm.plugins)}")
+    print(f"   plug-ins on SW-C 2:    {sorted(pirte2.plugins)}")
+    print(f"   OP's PLC: {pirte2.plugin('OP').plc.describe()}")
+    print(f"   COM's PLC: {ecm.plugin('COM').plc.describe()}")
+
+    print("== drive: the phone sends Wheels/Speed commands ==")
+    platform.phone.send("Wheels", -30)
+    platform.phone.send("Speed", 55)
+    platform.run(1 * SECOND)
+    state = platform.actuator_state()
+    print(f"   actuator inputs seen by the car: {state}")
+
+    print("== uninstall through the portal ==")
+    platform.server.web.uninstall(
+        platform.user_id, platform.vehicle.vin, "remote-control"
+    )
+    platform.run(3 * SECOND)
+    print(f"   plug-ins on ECM SW-C after uninstall: {sorted(ecm.plugins)}")
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

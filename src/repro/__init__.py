@@ -1,0 +1,32 @@
+"""repro: a dynamic component model for federated AUTOSAR systems.
+
+Reproduction of Ni, Kobetski & Axelsson, DAC 2014.  The package layers:
+
+* :mod:`repro.sim` — deterministic discrete-event kernel.
+* :mod:`repro.network`, :mod:`repro.can` — simulated networks.
+* :mod:`repro.autosar` — the AUTOSAR substrate (OS, BSW, RTE, SW-Cs).
+* :mod:`repro.vm` — the plug-in bytecode VM (the JVM substitute).
+* :mod:`repro.core` — the dynamic component model (PIRTE, contexts, ECM).
+* :mod:`repro.server` — the trusted server.
+* :mod:`repro.fes` — vehicles, phones, and fleets (federation layer).
+* :mod:`repro.baselines`, :mod:`repro.workloads`, :mod:`repro.analysis`
+  — experiment support.
+
+Quickstart::
+
+    from repro.fes import build_example_platform
+    from repro.sim import SECOND
+
+    platform = build_example_platform()
+    platform.boot()
+    platform.run(1 * SECOND)
+    platform.deploy_remote_control()
+    platform.run(3 * SECOND)
+    platform.phone.send("Wheels", -25)
+    platform.run(1 * SECOND)
+    print(platform.actuator_state())
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,5 @@
+"""Analysis and reporting helpers for the benchmark harness."""
+
+from repro.analysis.report import format_table, print_table, speedup, us_to_ms
+
+__all__ = ["format_table", "print_table", "speedup", "us_to_ms"]

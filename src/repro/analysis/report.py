@@ -1,0 +1,68 @@
+"""Benchmark reporting: aligned text tables and series.
+
+The benchmark harness prints the rows/series each experiment produces;
+this module keeps the formatting in one place so every benchmark's
+output looks the same.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str = "",
+) -> str:
+    """Render an aligned monospace table."""
+    materialised = [[_render(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialised:
+        lines.append(
+            "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def _render(cell: Any) -> str:
+    if isinstance(cell, float):
+        if abs(cell) >= 100:
+            return f"{cell:.0f}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str = "",
+) -> None:
+    """Print a table (flushes so pytest -s interleaves correctly)."""
+    print()
+    print(format_table(headers, rows, title), flush=True)
+
+
+def us_to_ms(us: float) -> float:
+    """Microseconds -> milliseconds for table readability."""
+    return us / 1000.0
+
+
+def speedup(baseline: float, measured: float) -> float:
+    """Ratio baseline/measured (>1 means measured is faster)."""
+    if measured <= 0:
+        return float("inf")
+    return baseline / measured
+
+
+__all__ = ["format_table", "print_table", "us_to_ms", "speedup"]

@@ -1,0 +1,21 @@
+"""Basic software: COM stack, PDU router, CAN interface, memory pools."""
+
+from repro.autosar.bsw.canif import CanInterface
+from repro.autosar.bsw.com import ComStack, SignalConfig
+from repro.autosar.bsw.memory import Allocation, MemoryManager, MemoryPool
+from repro.autosar.bsw.pdur import PduRouter
+from repro.autosar.bsw.tp import MAX_TP_PAYLOAD, Reassembler, roundtrip, segment
+
+__all__ = [
+    "CanInterface",
+    "ComStack",
+    "SignalConfig",
+    "Allocation",
+    "MemoryManager",
+    "MemoryPool",
+    "PduRouter",
+    "MAX_TP_PAYLOAD",
+    "Reassembler",
+    "roundtrip",
+    "segment",
+]

@@ -1,0 +1,300 @@
+"""Description-file serialization of system models.
+
+AUTOSAR methodology revolves around description files (ARXML) processed
+by tooling.  This module provides the equivalent: a documented,
+versioned dict schema for :class:`SystemDescription` (and the component
+types it references), with loss-checked round-tripping.  Component
+*behaviour* (runnable bodies, operation handlers) is code, not data, so
+types are resolved against a :class:`ComponentTypeRegistry` at load
+time — exactly as AUTOSAR descriptions reference code delivered
+separately.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.autosar.events import (
+    DataReceivedEvent,
+    InitEvent,
+    OperationInvokedEvent,
+    RteEvent,
+    TimingEvent,
+)
+from repro.autosar.interfaces import (
+    ClientServerInterface,
+    DataElement,
+    Operation,
+    PortInterface,
+    SenderReceiverInterface,
+)
+from repro.autosar.ports import PortDirection, PortPrototype
+from repro.autosar.swc import ComponentType
+from repro.autosar.system import SystemDescription
+from repro.autosar.types import lookup_type
+from repro.errors import ConfigurationError
+
+SCHEMA_VERSION = 1
+
+
+class ComponentTypeRegistry:
+    """Maps component type names to their code-bearing objects."""
+
+    def __init__(self) -> None:
+        self._types: dict[str, ComponentType] = {}
+
+    def register(self, ctype: ComponentType) -> ComponentType:
+        if ctype.name in self._types and self._types[ctype.name] is not ctype:
+            raise ConfigurationError(
+                f"conflicting registration for component type {ctype.name!r}"
+            )
+        self._types[ctype.name] = ctype
+        return ctype
+
+    def resolve(self, name: str) -> ComponentType:
+        try:
+            return self._types[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"component type {name!r} not registered"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+
+# -- interfaces ---------------------------------------------------------------
+
+
+def dump_interface(interface: PortInterface) -> dict[str, Any]:
+    """Serialize a port interface to the dict schema."""
+    if isinstance(interface, SenderReceiverInterface):
+        return {
+            "kind": "sender-receiver",
+            "name": interface.name,
+            "elements": [
+                {
+                    "name": e.name,
+                    "type": e.dtype.name,
+                    "queued": e.queued,
+                    "queue_length": e.queue_length,
+                }
+                for e in interface.elements
+            ],
+        }
+    if isinstance(interface, ClientServerInterface):
+        return {
+            "kind": "client-server",
+            "name": interface.name,
+            "operations": [
+                {
+                    "name": o.name,
+                    "arguments": [[n, t.name] for n, t in o.arguments],
+                    "result": o.result.name if o.result else None,
+                }
+                for o in interface.operations
+            ],
+        }
+    raise ConfigurationError(f"unknown interface class {type(interface)}")
+
+
+def load_interface(data: dict[str, Any]) -> PortInterface:
+    """Inverse of :func:`dump_interface`."""
+    kind = data.get("kind")
+    if kind == "sender-receiver":
+        return SenderReceiverInterface(
+            data["name"],
+            [
+                DataElement(
+                    e["name"],
+                    lookup_type(e["type"]),
+                    queued=e.get("queued", False),
+                    queue_length=e.get("queue_length", 16),
+                )
+                for e in data["elements"]
+            ],
+        )
+    if kind == "client-server":
+        return ClientServerInterface(
+            data["name"],
+            [
+                Operation(
+                    o["name"],
+                    tuple(
+                        (n, lookup_type(t)) for n, t in o.get("arguments", [])
+                    ),
+                    lookup_type(o["result"]) if o.get("result") else None,
+                )
+                for o in data["operations"]
+            ],
+        )
+    raise ConfigurationError(f"unknown interface kind {kind!r}")
+
+
+# -- component types (structure only) ------------------------------------------
+
+
+def dump_component_type(ctype: ComponentType) -> dict[str, Any]:
+    """Serialize a component type's structure (not its behaviour)."""
+    return {
+        "name": ctype.name,
+        "ports": [
+            {
+                "name": p.name,
+                "direction": p.direction.value,
+                "interface": dump_interface(p.interface),
+            }
+            for p in ctype.ports
+        ],
+        "runnables": [
+            {"name": r.name, "execution_time_us": r.execution_time_us}
+            for r in ctype.runnables
+        ],
+        "events": [_dump_event(e) for e in ctype.events],
+    }
+
+
+def _dump_event(event: RteEvent) -> dict[str, Any]:
+    if isinstance(event, TimingEvent):
+        return {
+            "kind": "timing",
+            "runnable": event.runnable,
+            "period_us": event.period_us,
+            "offset_us": event.offset_us,
+        }
+    if isinstance(event, DataReceivedEvent):
+        return {
+            "kind": "data-received",
+            "runnable": event.runnable,
+            "port": event.port,
+            "element": event.element,
+        }
+    if isinstance(event, OperationInvokedEvent):
+        return {
+            "kind": "operation-invoked",
+            "runnable": event.runnable,
+            "port": event.port,
+            "operation": event.operation,
+        }
+    if isinstance(event, InitEvent):
+        return {"kind": "init", "runnable": event.runnable}
+    raise ConfigurationError(f"unknown event class {type(event)}")
+
+
+def structure_matches(ctype: ComponentType, data: dict[str, Any]) -> bool:
+    """Whether a registered type's structure matches its description."""
+    return dump_component_type(ctype) == data
+
+
+# -- system description ------------------------------------------------------------
+
+
+def dump_system(description: SystemDescription) -> dict[str, Any]:
+    """Serialize a system description to the dict schema."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "name": description.name,
+        "can_bitrate": description.can_bitrate,
+        "ecus": [
+            {
+                "name": e.name,
+                "on_bus": e.on_bus,
+                "memory_block_size": e.memory_block_size,
+                "memory_block_count": e.memory_block_count,
+            }
+            for e in description.ecus.values()
+        ],
+        "components": [
+            {
+                "instance": p.instance_name,
+                "type": p.ctype.name,
+                "ecu": p.ecu_name,
+                "task": {
+                    "name": p.task.task_name,
+                    "priority": p.task.priority,
+                    "preemptable": p.task.preemptable,
+                },
+            }
+            for p in description.placements.values()
+        ],
+        "connectors": [
+            {
+                "from": [c.from_instance, c.from_port],
+                "to": [c.to_instance, c.to_port],
+            }
+            for c in description.connectors
+        ],
+        "component_types": [
+            dump_component_type(ctype)
+            for ctype in _distinct_types(description)
+        ],
+    }
+
+
+def _distinct_types(description: SystemDescription) -> list[ComponentType]:
+    seen: dict[str, ComponentType] = {}
+    for placement in description.placements.values():
+        seen.setdefault(placement.ctype.name, placement.ctype)
+    return list(seen.values())
+
+
+def load_system(
+    data: dict[str, Any], registry: ComponentTypeRegistry
+) -> SystemDescription:
+    """Reconstruct a system description, resolving types via ``registry``.
+
+    Each embedded component-type description must structurally match
+    the registered type of the same name — catching drift between the
+    description files and the delivered code, the classical AUTOSAR
+    integration failure mode.
+    """
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"unsupported system schema version {version!r}"
+        )
+    for type_data in data.get("component_types", []):
+        name = type_data["name"]
+        ctype = registry.resolve(name)
+        if not structure_matches(ctype, type_data):
+            raise ConfigurationError(
+                f"registered component type {name!r} does not match its "
+                f"description (structure drift)"
+            )
+    description = SystemDescription(data.get("name", "system"))
+    description.can_bitrate = data.get("can_bitrate", 500_000)
+    for ecu in data.get("ecus", []):
+        description.add_ecu(
+            ecu["name"],
+            on_bus=ecu.get("on_bus", True),
+            memory_block_size=ecu.get("memory_block_size", 256),
+            memory_block_count=ecu.get("memory_block_count", 4096),
+        )
+    for comp in data.get("components", []):
+        placement = description.add_component(
+            comp["instance"],
+            registry.resolve(comp["type"]),
+            comp["ecu"],
+            priority=comp.get("task", {}).get("priority", 5),
+            preemptable=comp.get("task", {}).get("preemptable", True),
+        )
+        task_name = comp.get("task", {}).get("name")
+        if task_name:
+            placement.task.task_name = task_name
+    for connector in data.get("connectors", []):
+        from_instance, from_port = connector["from"]
+        to_instance, to_port = connector["to"]
+        description.connect(from_instance, from_port, to_instance, to_port)
+    return description
+
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ComponentTypeRegistry",
+    "dump_interface",
+    "load_interface",
+    "dump_component_type",
+    "structure_matches",
+    "dump_system",
+    "load_system",
+]

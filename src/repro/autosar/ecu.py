@@ -1,0 +1,116 @@
+"""Runtime ECU: the container of OS, BSW, RTE, and component instances.
+
+An :class:`Ecu` is assembled by the system builder; application code
+interacts with it through its component instances and, for the dynamic
+component model, through the PIRTE living inside a plug-in SW-C.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.autosar.bsw.canif import CanInterface
+from repro.autosar.bsw.com import ComStack
+from repro.autosar.bsw.memory import MemoryManager
+from repro.autosar.bsw.pdur import PduRouter
+from repro.autosar.os.alarm import AlarmManager
+from repro.autosar.os.scheduler import Cpu
+from repro.autosar.os.task import Task
+from repro.autosar.rte.rte import Rte
+from repro.autosar.swc import ComponentInstance
+from repro.can.bus import CanBus
+from repro.can.controller import CanController
+from repro.errors import ConfigurationError
+from repro.sim.kernel import Simulator
+from repro.sim.tracing import Tracer
+
+
+class Ecu:
+    """One electronic control unit at run time."""
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulator,
+        tracer: Optional[Tracer] = None,
+        memory_block_size: int = 256,
+        memory_block_count: int = 4096,
+    ) -> None:
+        self.name = name
+        self.sim = sim
+        self.tracer = tracer
+        self.cpu = Cpu(sim, f"{name}.cpu", tracer)
+        self.alarms = AlarmManager(sim)
+        self.memory = MemoryManager()
+        self.memory.create_pool("app", memory_block_size, memory_block_count)
+        self.rte = Rte(name, sim, tracer)
+        self.controller: Optional[CanController] = None
+        self.canif: Optional[CanInterface] = None
+        self.pdur: Optional[PduRouter] = None
+        self.com: Optional[ComStack] = None
+        self.instances: dict[str, ComponentInstance] = {}
+        self.tasks: dict[str, Task] = {}
+        self._boot_actions: list = []
+        self.booted = False
+
+    def attach_bus(self, bus: CanBus) -> None:
+        """Create the communication stack and join the CAN bus."""
+        if self.controller is not None:
+            raise ConfigurationError(f"ECU {self.name} already on a bus")
+        self.controller = CanController(f"{self.name}.can")
+        bus.attach(self.controller)
+        self.canif = CanInterface(self.controller)
+        self.pdur = PduRouter(self.canif)
+        self.com = ComStack(self.pdur, f"{self.name}.com", sim=self.sim)
+        self.rte.set_com_sender(self.com.send_signal)
+
+    def add_instance(
+        self, instance: ComponentInstance, task: Task
+    ) -> None:
+        """Register a component instance and its mapped OS task."""
+        if instance.name in self.instances:
+            raise ConfigurationError(
+                f"duplicate instance {instance.name!r} on ECU {self.name}"
+            )
+        self.instances[instance.name] = instance
+        self.tasks[instance.name] = task
+        self.cpu.add_task(task)
+        self.rte.register_instance(instance)
+
+    def instance(self, name: str) -> ComponentInstance:
+        """Look up a component instance by name."""
+        try:
+            return self.instances[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"ECU {self.name} has no instance {name!r}"
+            ) from None
+
+    def task_for(self, instance_name: str) -> Task:
+        """The OS task mapped to ``instance_name``."""
+        try:
+            return self.tasks[instance_name]
+        except KeyError:
+            raise ConfigurationError(
+                f"ECU {self.name} has no task for instance {instance_name!r}"
+            ) from None
+
+    def at_boot(self, action) -> None:
+        """Queue an action to run when :meth:`boot` is called."""
+        self._boot_actions.append(action)
+
+    def boot(self) -> None:
+        """Start the ECU: run init activations and arm periodic alarms."""
+        if self.booted:
+            return
+        self.booted = True
+        if self.tracer:
+            self.tracer.emit(self.sim.now, "ecu", "boot", ecu=self.name)
+        for action in self._boot_actions:
+            action()
+
+    def __repr__(self) -> str:
+        return f"<Ecu {self.name} instances={len(self.instances)}>"
+
+
+__all__ = ["Ecu"]

@@ -1,0 +1,7 @@
+"""OSEK-style operating system layer: tasks, scheduler, alarms."""
+
+from repro.autosar.os.alarm import Alarm, AlarmManager
+from repro.autosar.os.scheduler import Cpu
+from repro.autosar.os.task import Task, TaskState, WorkItem
+
+__all__ = ["Alarm", "AlarmManager", "Cpu", "Task", "TaskState", "WorkItem"]

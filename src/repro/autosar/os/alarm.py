@@ -1,0 +1,94 @@
+"""OSEK counters and alarms.
+
+Alarms drive periodic task activation: the RTE generator maps each
+AUTOSAR timing event to an alarm that activates the mapped task with the
+runnable's work item.  Alarms may be one-shot or cyclic, and can be
+cancelled and re-set at runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import OsekError
+from repro.sim.kernel import EventHandle, Simulator
+
+
+class Alarm:
+    """A single alarm bound to an action callback."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        action: Callable[[], None],
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.action = action
+        self._handle: Optional[EventHandle] = None
+        self._cycle_us = 0
+        self.expirations = 0
+        self.armed = False
+
+    def set_relative(self, offset_us: int, cycle_us: int = 0) -> None:
+        """OSEK SetRelAlarm: fire after ``offset_us``; repeat every
+        ``cycle_us`` when non-zero."""
+        if self.armed:
+            raise OsekError(f"alarm {self.name} is already armed")
+        if offset_us < 0 or cycle_us < 0:
+            raise OsekError(f"alarm {self.name}: negative offset or cycle")
+        self._cycle_us = cycle_us
+        self.armed = True
+        self._handle = self.sim.schedule(
+            offset_us, self._expire, f"alarm:{self.name}"
+        )
+
+    def cancel(self) -> None:
+        """OSEK CancelAlarm: disarm; no-op when not armed."""
+        if self._handle is not None:
+            self.sim.cancel(self._handle)
+            self._handle = None
+        self.armed = False
+
+    def _expire(self) -> None:
+        self.expirations += 1
+        if self._cycle_us > 0:
+            self._handle = self.sim.schedule(
+                self._cycle_us, self._expire, f"alarm:{self.name}"
+            )
+        else:
+            self.armed = False
+            self._handle = None
+        self.action()
+
+
+class AlarmManager:
+    """Factory and registry of alarms on one ECU."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.alarms: dict[str, Alarm] = {}
+
+    def create(self, name: str, action: Callable[[], None]) -> Alarm:
+        """Create and register a new alarm."""
+        if name in self.alarms:
+            raise OsekError(f"duplicate alarm {name!r}")
+        alarm = Alarm(self.sim, name, action)
+        self.alarms[name] = alarm
+        return alarm
+
+    def alarm(self, name: str) -> Alarm:
+        """Look up an alarm by name."""
+        try:
+            return self.alarms[name]
+        except KeyError:
+            raise OsekError(f"no alarm named {name!r}") from None
+
+    def cancel_all(self) -> None:
+        """Disarm every alarm (ECU shutdown path)."""
+        for alarm in self.alarms.values():
+            alarm.cancel()
+
+
+__all__ = ["Alarm", "AlarmManager"]

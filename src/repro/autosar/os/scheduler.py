@@ -1,0 +1,186 @@
+"""Fixed-priority preemptive CPU scheduler.
+
+One :class:`Cpu` models the single core of an ECU.  Work items queued on
+tasks consume simulated CPU time; a higher-priority task activating while
+a lower-priority preemptable item is in flight preempts it, and the
+preempted item resumes with its remaining duration (time-slicing is
+exact because the simulation clock is integral).
+
+The scheduler is the substrate for the paper's isolation claim: plug-in
+VM execution is charged to a low-priority task, so built-in control
+tasks keep their response times regardless of plug-in load.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.autosar.os.task import Task, TaskState, WorkItem
+from repro.errors import OsekError
+from repro.sim.kernel import EventHandle, Simulator
+from repro.sim.tracing import Tracer
+
+
+class _Execution:
+    """Bookkeeping for the work item currently on the CPU."""
+
+    def __init__(self, task: Task, item: WorkItem, started: int) -> None:
+        self.task = task
+        self.item = item
+        self.started = started
+        self.remaining = item.duration_us
+        self.handle: Optional[EventHandle] = None
+
+
+class Cpu:
+    """Single-core fixed-priority preemptive scheduler."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "cpu0",
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.tracer = tracer
+        self.tasks: dict[str, Task] = {}
+        self._current: Optional[_Execution] = None
+        self.busy_time = 0
+        self.preemptions = 0
+        self.dispatches = 0
+
+    def add_task(self, task: Task) -> Task:
+        """Register a task with this CPU."""
+        if task.name in self.tasks:
+            raise OsekError(f"duplicate task {task.name!r} on {self.name}")
+        self.tasks[task.name] = task
+        return task
+
+    def task(self, name: str) -> Task:
+        """Look up a registered task."""
+        try:
+            return self.tasks[name]
+        except KeyError:
+            raise OsekError(f"{self.name} has no task {name!r}") from None
+
+    def activate(self, task: Task, item: WorkItem) -> bool:
+        """OSEK ActivateTask: queue ``item`` on ``task`` and schedule.
+
+        Returns False when the task's queue limit dropped the activation.
+        """
+        if task.name not in self.tasks:
+            raise OsekError(f"task {task.name} not registered on {self.name}")
+        if not task.enqueue(item):
+            return False
+        task.note_activation(self.sim.now)
+        if task.state is TaskState.SUSPENDED:
+            task.state = TaskState.READY
+        if self.tracer:
+            self.tracer.emit(
+                self.sim.now, "os", "activate", cpu=self.name,
+                task=task.name, item=item.label,
+            )
+        self._schedule_decision()
+        return True
+
+    def activate_by_name(self, task_name: str, item: WorkItem) -> bool:
+        """Convenience: activate a task looked up by name."""
+        return self.activate(self.task(task_name), item)
+
+    @property
+    def running_task(self) -> Optional[Task]:
+        """The task currently occupying the CPU, if any."""
+        return self._current.task if self._current else None
+
+    def utilization(self) -> float:
+        """Fraction of elapsed simulated time the CPU was busy."""
+        if self.sim.now == 0:
+            return 0.0
+        return self.busy_time / self.sim.now
+
+    def _highest_ready(self) -> Optional[Task]:
+        best: Optional[Task] = None
+        for task in self.tasks.values():
+            if not task.has_work():
+                continue
+            if best is None or task.priority > best.priority:
+                best = task
+        return best
+
+    def _schedule_decision(self) -> None:
+        contender = self._highest_ready()
+        if contender is None:
+            return
+        if self._current is None:
+            self._dispatch(contender)
+            return
+        current = self._current
+        if (
+            current.task.preemptable
+            and contender.priority > current.task.priority
+        ):
+            self._preempt(current)
+            self._dispatch(contender)
+
+    def _dispatch(self, task: Task) -> None:
+        item = task.next_item()
+        task.state = TaskState.RUNNING
+        execution = _Execution(task, item, self.sim.now)
+        self._current = execution
+        self.dispatches += 1
+        execution.handle = self.sim.schedule(
+            execution.remaining,
+            lambda: self._complete(execution),
+            f"os:{self.name}:{task.name}",
+        )
+        if self.tracer:
+            self.tracer.emit(
+                self.sim.now, "os", "dispatch", cpu=self.name,
+                task=task.name, item=item.label,
+            )
+
+    def _preempt(self, execution: _Execution) -> None:
+        if execution.handle is not None:
+            self.sim.cancel(execution.handle)
+        consumed = self.sim.now - execution.started
+        execution.remaining -= consumed
+        self.busy_time += consumed
+        self.preemptions += 1
+        execution.task.state = TaskState.READY
+        # Resume at queue head so the preempted item finishes first.
+        execution.task.queue.appendleft(
+            WorkItem(
+                execution.item.label,
+                execution.remaining,
+                execution.item.action,
+            )
+        )
+        self._current = None
+        if self.tracer:
+            self.tracer.emit(
+                self.sim.now, "os", "preempt", cpu=self.name,
+                task=execution.task.name, remaining=execution.remaining,
+            )
+
+    def _complete(self, execution: _Execution) -> None:
+        self.busy_time += execution.remaining
+        task = execution.task
+        self._current = None
+        task.note_completion(self.sim.now)
+        if not task.has_work():
+            task.state = TaskState.SUSPENDED
+        else:
+            task.state = TaskState.READY
+        if self.tracer:
+            self.tracer.emit(
+                self.sim.now, "os", "complete", cpu=self.name,
+                task=task.name, item=execution.item.label,
+            )
+        # Run the side effects at completion time, then pick the next job.
+        if execution.item.action is not None:
+            execution.item.action()
+        self._schedule_decision()
+
+
+__all__ = ["Cpu"]

@@ -1,0 +1,111 @@
+"""OSEK-style tasks.
+
+Tasks are containers of work items (runnable activations) executed under
+fixed-priority preemptive scheduling.  Basic tasks support multiple
+queued activations, as in OSEK; each activation drains the work items
+queued for it at activation time.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Optional
+
+from repro.errors import OsekError
+
+
+class TaskState(enum.Enum):
+    """OSEK task states."""
+
+    SUSPENDED = "suspended"
+    READY = "ready"
+    RUNNING = "running"
+    WAITING = "waiting"
+
+
+@dataclass
+class WorkItem:
+    """One unit of CPU work queued on a task.
+
+    ``duration_us`` is charged to the CPU; ``action`` runs when the work
+    item completes (side effects become visible at completion, modelling
+    results produced at the end of a runnable's execution window).
+    """
+
+    label: str
+    duration_us: int
+    action: Optional[Callable[[], None]] = None
+
+    def __post_init__(self) -> None:
+        if self.duration_us < 0:
+            raise OsekError(f"work item {self.label} has negative duration")
+
+
+class Task:
+    """An OSEK basic task with a FIFO work queue.
+
+    ``priority``: larger numbers preempt smaller ones.
+    ``max_activations``: pending activation limit, as in OSEK; further
+    activations are dropped and counted, not errors (matching the OSEK
+    E_OS_LIMIT behaviour surfaced as a status code).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        priority: int,
+        preemptable: bool = True,
+        max_activations: int = 8,
+    ) -> None:
+        if not name:
+            raise OsekError("task needs a non-empty name")
+        if max_activations < 1:
+            raise OsekError(f"task {name} needs max_activations >= 1")
+        self.name = name
+        self.priority = priority
+        self.preemptable = preemptable
+        self.max_activations = max_activations
+        self.state = TaskState.SUSPENDED
+        self.queue: Deque[WorkItem] = deque()
+        self.activation_count = 0
+        self.dropped_activations = 0
+        self.completed_items = 0
+        #: Filled by the scheduler: response-time samples (us).
+        self.response_times: list[int] = []
+        self._activation_times: Deque[int] = deque()
+
+    def enqueue(self, item: WorkItem) -> bool:
+        """Queue a work item; returns False when the activation limit hit."""
+        if len(self.queue) >= self.max_activations * 16:
+            self.dropped_activations += 1
+            return False
+        self.queue.append(item)
+        return True
+
+    def has_work(self) -> bool:
+        return bool(self.queue)
+
+    def next_item(self) -> WorkItem:
+        """Pop the next work item (scheduler use)."""
+        if not self.queue:
+            raise OsekError(f"task {self.name} has no queued work")
+        return self.queue.popleft()
+
+    def note_activation(self, now: int) -> None:
+        """Record an activation instant for response-time accounting."""
+        self.activation_count += 1
+        self._activation_times.append(now)
+
+    def note_completion(self, now: int) -> None:
+        """Record a work-item completion; pairs FIFO with activations."""
+        self.completed_items += 1
+        if self._activation_times:
+            self.response_times.append(now - self._activation_times.popleft())
+
+    def __repr__(self) -> str:
+        return f"<Task {self.name} prio={self.priority} {self.state.value}>"
+
+
+__all__ = ["Task", "TaskState", "WorkItem"]

@@ -1,0 +1,30 @@
+"""Runtime environment: routing runtime plus the system generator.
+
+Imports are lazy (PEP 562) because :mod:`repro.autosar.ecu` imports the
+RTE runtime while the generator imports the ECU — eager package imports
+would form a cycle.
+"""
+
+from typing import Any
+
+_EXPORTS = {
+    "CAN_ID_BASE": "repro.autosar.rte.generator",
+    "BuiltSystem": "repro.autosar.rte.generator",
+    "SystemBuilder": "repro.autosar.rte.generator",
+    "build_system": "repro.autosar.rte.generator",
+    "ComRoute": "repro.autosar.rte.rte",
+    "LocalRoute": "repro.autosar.rte.rte",
+    "Rte": "repro.autosar.rte.rte",
+    "ServerRoute": "repro.autosar.rte.rte",
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

@@ -1,0 +1,331 @@
+"""The "RTE generator": builds a runtime system from a description.
+
+This mirrors the AUTOSAR methodology step where tooling processes the
+description files into executable BSW + RTE + ASW for each ECU: the
+:class:`SystemBuilder` instantiates ECUs, components, and OS tasks,
+allocates COM signal/PDU/CAN identifiers for every cross-ECU connector
+element, and turns RTE events into alarms and delivery hooks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.autosar.ecu import Ecu
+from repro.autosar.events import (
+    DataReceivedEvent,
+    InitEvent,
+    OperationInvokedEvent,
+    TimingEvent,
+)
+from repro.autosar.bsw.com import SignalConfig
+from repro.autosar.interfaces import SenderReceiverInterface
+from repro.autosar.os.task import Task, WorkItem
+from repro.autosar.rte.rte import ComRoute, LocalRoute, ServerRoute
+from repro.autosar.swc import ComponentInstance
+from repro.autosar.system import SystemDescription
+from repro.can.bus import CanBus
+from repro.can.frame import MAX_STD_ID
+from repro.errors import ConfigurationError
+from repro.sim.kernel import Simulator
+from repro.sim.tracing import Tracer
+
+#: First CAN identifier handed to generated signals.  Identifiers below
+#: this are reserved for built-in, manually configured traffic.
+CAN_ID_BASE = 0x100
+
+
+@dataclass
+class BuiltSystem:
+    """The runtime artefacts produced by :class:`SystemBuilder`."""
+
+    description: SystemDescription
+    sim: Simulator
+    ecus: dict[str, Ecu]
+    bus: Optional[CanBus]
+    tracer: Tracer
+    signal_allocation: dict[tuple[str, str, str, str, str], int] = field(
+        default_factory=dict
+    )
+
+    def ecu(self, name: str) -> Ecu:
+        """Look up a built ECU."""
+        try:
+            return self.ecus[name]
+        except KeyError:
+            raise ConfigurationError(f"no ECU named {name!r}") from None
+
+    def instance(self, name: str) -> ComponentInstance:
+        """Find a component instance on whichever ECU holds it."""
+        placement = self.description.placement(name)
+        return self.ecu(placement.ecu_name).instance(name)
+
+    def boot_all(self) -> None:
+        """Boot every ECU (idempotent)."""
+        for ecu in self.ecus.values():
+            ecu.boot()
+
+    def run(self, duration_us: int) -> None:
+        """Boot if necessary and advance simulated time."""
+        self.boot_all()
+        self.sim.run_for(duration_us)
+
+
+class SystemBuilder:
+    """Generates the runtime system for a :class:`SystemDescription`."""
+
+    def __init__(
+        self,
+        description: SystemDescription,
+        sim: Optional[Simulator] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.description = description
+        self.sim = sim or Simulator()
+        self.tracer = tracer or Tracer()
+        self._next_pdu = 0
+
+    def build(self) -> BuiltSystem:
+        """Validate the description and construct the runtime system."""
+        description = self.description
+        description.validate()
+        bus = self._build_bus()
+        ecus = self._build_ecus(bus)
+        built = BuiltSystem(description, self.sim, ecus, bus, self.tracer)
+        self._instantiate_components(built)
+        self._wire_sr_routes(built)
+        self._wire_cs_routes(built)
+        self._install_events(built)
+        return built
+
+    def _build_bus(self) -> Optional[CanBus]:
+        if any(e.on_bus for e in self.description.ecus.values()):
+            return CanBus(
+                self.sim,
+                "can0",
+                bitrate=self.description.can_bitrate,
+                tracer=self.tracer,
+            )
+        return None
+
+    def _build_ecus(self, bus: Optional[CanBus]) -> dict[str, Ecu]:
+        ecus: dict[str, Ecu] = {}
+        for desc in self.description.ecus.values():
+            ecu = Ecu(
+                desc.name,
+                self.sim,
+                self.tracer,
+                memory_block_size=desc.memory_block_size,
+                memory_block_count=desc.memory_block_count,
+            )
+            if desc.on_bus:
+                assert bus is not None
+                ecu.attach_bus(bus)
+            ecus[desc.name] = ecu
+        return ecus
+
+    def _instantiate_components(self, built: BuiltSystem) -> None:
+        for placement in self.description.placements.values():
+            ecu = built.ecu(placement.ecu_name)
+            instance = placement.ctype.instantiate(placement.instance_name)
+            task = Task(
+                placement.task.task_name,
+                placement.task.priority,
+                placement.task.preemptable,
+            )
+            ecu.add_instance(instance, task)
+            # Register the component author's operation handlers.
+            for (port, op), handler in placement.ctype.operation_handlers.items():
+                ecu.rte.register_operation_handler(
+                    instance.name, port, op, handler
+                )
+
+    def _allocate_signal(self) -> tuple[int, int]:
+        """Allocate a fresh (signal_id, can_id) pair."""
+        pdu_id = self._next_pdu
+        self._next_pdu += 1
+        can_id = CAN_ID_BASE + pdu_id
+        if can_id > MAX_STD_ID:
+            raise ConfigurationError(
+                "CAN identifier space exhausted: too many cross-ECU "
+                "connector elements"
+            )
+        return pdu_id, can_id
+
+    def _wire_sr_routes(self, built: BuiltSystem) -> None:
+        description = self.description
+        for connector in description.connectors:
+            from_place = description.placement(connector.from_instance)
+            proto = from_place.ctype.port(connector.from_port)
+            if not proto.is_sender_receiver:
+                continue
+            iface = proto.interface
+            assert isinstance(iface, SenderReceiverInterface)
+            src_ecu = built.ecu(from_place.ecu_name)
+            if not description.is_cross_ecu(connector):
+                for element in iface.elements:
+                    src_ecu.rte.add_sr_route(
+                        connector.from_instance,
+                        connector.from_port,
+                        element.name,
+                        LocalRoute(connector.to_instance, connector.to_port),
+                    )
+                continue
+            to_place = description.placement(connector.to_instance)
+            dst_ecu = built.ecu(to_place.ecu_name)
+            if src_ecu.com is None or dst_ecu.com is None:
+                raise ConfigurationError(
+                    f"cross-ECU connector {connector} needs both ECUs on "
+                    f"the bus"
+                )
+            for element in iface.elements:
+                signal_id, can_id = self._allocate_signal()
+                built.signal_allocation[
+                    (
+                        connector.from_instance,
+                        connector.from_port,
+                        connector.to_instance,
+                        connector.to_port,
+                        element.name,
+                    )
+                ] = signal_id
+                config = SignalConfig(
+                    name=(
+                        f"{connector.from_instance}_{connector.from_port}_"
+                        f"{element.name}"
+                    ),
+                    signal_id=signal_id,
+                    dtype=element.dtype,
+                    pdu_id=signal_id,
+                )
+                src_ecu.com.configure_tx_signal(config)
+                src_ecu.canif.configure_tx(signal_id, can_id)  # type: ignore[union-attr]
+                dst_ecu.com.configure_rx_signal(config)
+                dst_ecu.canif.configure_rx(can_id, signal_id)  # type: ignore[union-attr]
+                src_ecu.rte.add_sr_route(
+                    connector.from_instance,
+                    connector.from_port,
+                    element.name,
+                    ComRoute(signal_id),
+                )
+                dst_ecu.com.subscribe(
+                    signal_id,
+                    self._make_remote_delivery(
+                        dst_ecu,
+                        connector.to_instance,
+                        connector.to_port,
+                        element.name,
+                    ),
+                )
+
+    @staticmethod
+    def _make_remote_delivery(ecu: Ecu, instance: str, port: str, element: str):
+        def deliver(value) -> None:
+            ecu.rte.deliver_local(instance, port, element, value)
+
+        return deliver
+
+    def _wire_cs_routes(self, built: BuiltSystem) -> None:
+        description = self.description
+        for connector in description.connectors:
+            from_place = description.placement(connector.from_instance)
+            proto = from_place.ctype.port(connector.from_port)
+            if proto.is_sender_receiver:
+                continue
+            # validate() already rejected cross-ECU C/S connectors.
+            ecu = built.ecu(from_place.ecu_name)
+            iface = proto.interface
+            for operation in iface.operations:  # type: ignore[union-attr]
+                ecu.rte.add_cs_route(
+                    connector.from_instance,
+                    connector.from_port,
+                    operation.name,
+                    ServerRoute(connector.to_instance, connector.to_port),
+                )
+
+    def _install_events(self, built: BuiltSystem) -> None:
+        for placement in self.description.placements.values():
+            ecu = built.ecu(placement.ecu_name)
+            instance = ecu.instance(placement.instance_name)
+            task = ecu.task_for(placement.instance_name)
+            for event in placement.ctype.events:
+                if isinstance(event, TimingEvent):
+                    self._install_timing_event(ecu, instance, task, event)
+                elif isinstance(event, DataReceivedEvent):
+                    self._install_data_event(ecu, instance, task, event)
+                elif isinstance(event, InitEvent):
+                    self._install_init_event(ecu, instance, task, event)
+                elif isinstance(event, OperationInvokedEvent):
+                    # Operation-invoked runnables execute synchronously
+                    # through the registered handler; nothing to install.
+                    continue
+
+    @staticmethod
+    def _activation_item(
+        instance: ComponentInstance, runnable_name: str
+    ) -> WorkItem:
+        runnable = instance.ctype.runnable(runnable_name)
+        return WorkItem(
+            label=f"{instance.name}.{runnable_name}",
+            duration_us=runnable.execution_time_us,
+            action=lambda: runnable.run(instance),
+        )
+
+    def _install_timing_event(
+        self,
+        ecu: Ecu,
+        instance: ComponentInstance,
+        task: Task,
+        event: TimingEvent,
+    ) -> None:
+        alarm = ecu.alarms.create(
+            f"{instance.name}.{event.runnable}.timer",
+            lambda: ecu.cpu.activate(
+                task, self._activation_item(instance, event.runnable)
+            ),
+        )
+        ecu.at_boot(
+            lambda a=alarm, e=event: a.set_relative(e.offset_us, e.period_us)
+        )
+
+    def _install_data_event(
+        self,
+        ecu: Ecu,
+        instance: ComponentInstance,
+        task: Task,
+        event: DataReceivedEvent,
+    ) -> None:
+        ecu.rte.add_delivery_hook(
+            instance.name,
+            event.port,
+            event.element,
+            lambda: ecu.cpu.activate(
+                task, self._activation_item(instance, event.runnable)
+            ),
+        )
+
+    def _install_init_event(
+        self,
+        ecu: Ecu,
+        instance: ComponentInstance,
+        task: Task,
+        event: InitEvent,
+    ) -> None:
+        ecu.at_boot(
+            lambda: ecu.cpu.activate(
+                task, self._activation_item(instance, event.runnable)
+            )
+        )
+
+
+def build_system(
+    description: SystemDescription,
+    sim: Optional[Simulator] = None,
+    tracer: Optional[Tracer] = None,
+) -> BuiltSystem:
+    """One-call convenience wrapper around :class:`SystemBuilder`."""
+    return SystemBuilder(description, sim, tracer).build()
+
+
+__all__ = ["SystemBuilder", "BuiltSystem", "build_system", "CAN_ID_BASE"]

@@ -1,0 +1,245 @@
+"""The runtime environment: realisation of the VFB on one ECU.
+
+The RTE holds the routing tables produced by the generator and
+implements the component-facing API (``write``/``read``/``call`` via
+:class:`~repro.autosar.swc.ComponentInstance`).  Local routes copy data
+directly into the receiver's port buffer and fire data-received
+activations through the OS; cross-ECU routes hand the encoded value to
+COM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.autosar.ports import PortInstance
+from repro.autosar.swc import ComponentInstance
+from repro.errors import PortError, RteError
+from repro.sim.kernel import Simulator
+from repro.sim.tracing import Tracer
+
+
+@dataclass(frozen=True)
+class LocalRoute:
+    """Same-ECU S/R route: deliver straight into a port buffer."""
+
+    to_instance: str
+    to_port: str
+
+
+@dataclass(frozen=True)
+class ComRoute:
+    """Cross-ECU S/R route: transmit through a COM signal."""
+
+    signal_id: int
+
+
+@dataclass(frozen=True)
+class ServerRoute:
+    """Local C/S route to a server instance's operation handler."""
+
+    server_instance: str
+    server_port: str
+
+
+class Rte:
+    """Per-ECU runtime environment."""
+
+    def __init__(
+        self,
+        ecu_name: str,
+        sim: Simulator,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.ecu_name = ecu_name
+        self.sim = sim
+        self.tracer = tracer
+        self.instances: dict[str, ComponentInstance] = {}
+        # (instance, port, element) -> routes
+        self._sr_routes: dict[tuple[str, str, str], list[Any]] = {}
+        # (client_instance, client_port, operation) -> server route
+        self._cs_routes: dict[tuple[str, str, str], ServerRoute] = {}
+        # (server_instance, server_port, operation) -> handler
+        self._cs_handlers: dict[
+            tuple[str, str, str], Callable[..., Any]
+        ] = {}
+        # (instance, port, element) -> activation hooks
+        self._delivery_hooks: dict[
+            tuple[str, str, str], list[Callable[[], None]]
+        ] = {}
+        self._com_send: Optional[Callable[[int, Any], bool]] = None
+        self.writes = 0
+        self.local_deliveries = 0
+        self.com_transmissions = 0
+        self.calls = 0
+
+    # -- wiring (generator-facing) ---------------------------------------
+
+    def register_instance(self, instance: ComponentInstance) -> None:
+        """Bind a component instance to this RTE."""
+        if instance.name in self.instances:
+            raise RteError(
+                f"duplicate instance {instance.name!r} on {self.ecu_name}"
+            )
+        self.instances[instance.name] = instance
+        instance.rte = self
+
+    def instance(self, name: str) -> ComponentInstance:
+        """Look up a bound instance."""
+        try:
+            return self.instances[name]
+        except KeyError:
+            raise RteError(
+                f"RTE on {self.ecu_name} has no instance {name!r}"
+            ) from None
+
+    def add_sr_route(
+        self, instance: str, port: str, element: str, route: Any
+    ) -> None:
+        """Install a sender-receiver route for a provided port element."""
+        self._sr_routes.setdefault((instance, port, element), []).append(route)
+
+    def add_cs_route(
+        self,
+        client_instance: str,
+        client_port: str,
+        operation: str,
+        route: ServerRoute,
+    ) -> None:
+        """Install a client-server route."""
+        key = (client_instance, client_port, operation)
+        if key in self._cs_routes:
+            raise RteError(f"duplicate C/S route for {key}")
+        self._cs_routes[key] = route
+
+    def register_operation_handler(
+        self,
+        server_instance: str,
+        server_port: str,
+        operation: str,
+        handler: Callable[..., Any],
+    ) -> None:
+        """Register the server-side implementation of an operation."""
+        self._cs_handlers[(server_instance, server_port, operation)] = handler
+
+    def add_delivery_hook(
+        self, instance: str, port: str, element: str, hook: Callable[[], None]
+    ) -> None:
+        """Run ``hook`` after each delivery to the given port element.
+
+        The generator uses this to turn data-received events into task
+        activations; the PIRTE uses it to wake the plug-in dispatcher.
+        """
+        self._delivery_hooks.setdefault((instance, port, element), []).append(hook)
+
+    def set_com_sender(self, sender: Callable[[int, Any], bool]) -> None:
+        """Install the COM transmit function for cross-ECU routes."""
+        self._com_send = sender
+
+    # -- component-facing API --------------------------------------------
+
+    def write(
+        self,
+        instance: ComponentInstance,
+        port: str,
+        element: str,
+        value: Any,
+    ) -> None:
+        """Rte_Write: fan ``value`` out to every configured route."""
+        prototype = instance.ctype.port(port)
+        if not prototype.is_provided or not prototype.is_sender_receiver:
+            raise PortError(
+                f"write needs a provided S/R port; {instance.name}.{port} "
+                f"is {prototype.direction.value}"
+            )
+        iface = prototype.interface
+        iface.element(element)  # type: ignore[union-attr]
+        self.writes += 1
+        if self.tracer:
+            self.tracer.emit(
+                self.sim.now, "rte", "write", ecu=self.ecu_name,
+                src=f"{instance.name}.{port}.{element}",
+            )
+        routes = self._sr_routes.get((instance.name, port, element), [])
+        for route in routes:
+            if isinstance(route, LocalRoute):
+                self.deliver_local(route.to_instance, route.to_port, element, value)
+            elif isinstance(route, ComRoute):
+                if self._com_send is None:
+                    raise RteError(
+                        f"cross-ECU route from {instance.name}.{port} but "
+                        f"ECU {self.ecu_name} has no COM stack"
+                    )
+                self.com_transmissions += 1
+                self._com_send(route.signal_id, value)
+            else:  # pragma: no cover - defensive
+                raise RteError(f"unknown route type {route!r}")
+
+    def deliver_local(
+        self, to_instance: str, to_port: str, element: str, value: Any
+    ) -> None:
+        """Deliver a value into a local port buffer and fire hooks.
+
+        Called both for local routes and by the generator's COM receive
+        subscriptions (the last hop of a cross-ECU route).
+        """
+        receiver = self.instance(to_instance)
+        port_instance: PortInstance = receiver.port(to_port)
+        delivered = port_instance.deliver(element, value)
+        if not delivered:
+            if self.tracer:
+                self.tracer.emit(
+                    self.sim.now, "rte", "overflow", ecu=self.ecu_name,
+                    dst=f"{to_instance}.{to_port}.{element}",
+                )
+            return
+        self.local_deliveries += 1
+        if self.tracer:
+            self.tracer.emit(
+                self.sim.now, "rte", "deliver", ecu=self.ecu_name,
+                dst=f"{to_instance}.{to_port}.{element}",
+            )
+        for hook in self._delivery_hooks.get(
+            (to_instance, to_port, element), []
+        ):
+            hook()
+
+    def call(
+        self,
+        instance: ComponentInstance,
+        port: str,
+        operation: str,
+        arguments: dict[str, Any],
+    ) -> Any:
+        """Rte_Call: synchronous local client-server invocation.
+
+        The server's handler executes immediately in the caller's
+        context; AUTOSAR's direct invocation of a server runnable on the
+        caller's task.  Cross-ECU C/S is rejected at build time.
+        """
+        key = (instance.name, port, operation)
+        route = self._cs_routes.get(key)
+        if route is None:
+            raise RteError(
+                f"no C/S route for {instance.name}.{port}.{operation}"
+            )
+        handler = self._cs_handlers.get(
+            (route.server_instance, route.server_port, operation)
+        )
+        if handler is None:
+            raise RteError(
+                f"server {route.server_instance}.{route.server_port} has no "
+                f"handler for operation {operation!r}"
+            )
+        self.calls += 1
+        if self.tracer:
+            self.tracer.emit(
+                self.sim.now, "rte", "call", ecu=self.ecu_name,
+                op=f"{route.server_instance}.{route.server_port}.{operation}",
+            )
+        server = self.instance(route.server_instance)
+        return handler(server, **arguments)
+
+
+__all__ = ["Rte", "LocalRoute", "ComRoute", "ServerRoute"]

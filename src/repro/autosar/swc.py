@@ -1,0 +1,318 @@
+"""Software components: types, compositions, and runtime instances.
+
+A :class:`ComponentType` is the reusable design-time artefact (ports,
+runnables, events).  A :class:`CompositionType` nests component
+prototypes and re-exports inner ports through delegation.  A
+:class:`ComponentInstance` is the runtime object living on one ECU,
+holding port instances and the hook to the ECU's RTE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable, Optional, Sequence
+
+from repro.autosar.events import (
+    DataReceivedEvent,
+    InitEvent,
+    OperationInvokedEvent,
+    RteEvent,
+    TimingEvent,
+)
+from repro.autosar.ports import PortInstance, PortPrototype
+from repro.autosar.runnable import Runnable
+from repro.errors import ConfigurationError, PortError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.autosar.rte.rte import Rte
+
+
+class ComponentType:
+    """An atomic AUTOSAR software component type."""
+
+    def __init__(
+        self,
+        name: str,
+        ports: Sequence[PortPrototype] = (),
+        runnables: Sequence[Runnable] = (),
+        events: Sequence[RteEvent] = (),
+    ) -> None:
+        if not name:
+            raise ConfigurationError("component type needs a non-empty name")
+        self.name = name
+        self._ports: dict[str, PortPrototype] = {}
+        for port in ports:
+            self.add_port(port)
+        self._runnables: dict[str, Runnable] = {}
+        for runnable in runnables:
+            self.add_runnable(runnable)
+        self.events: list[RteEvent] = []
+        for event in events:
+            self.add_event(event)
+        #: (port, operation) -> server implementation, registered by the
+        #: component author and installed into the RTE at build time.
+        self.operation_handlers: dict[tuple[str, str], Any] = {}
+
+    @property
+    def ports(self) -> list[PortPrototype]:
+        return list(self._ports.values())
+
+    @property
+    def runnables(self) -> list[Runnable]:
+        return list(self._runnables.values())
+
+    def add_port(self, port: PortPrototype) -> None:
+        """Declare a port; names must be unique within the type."""
+        if port.name in self._ports:
+            raise ConfigurationError(
+                f"duplicate port {port.name!r} on component {self.name}"
+            )
+        self._ports[port.name] = port
+
+    def add_runnable(self, runnable: Runnable) -> None:
+        """Declare a runnable; names must be unique within the type."""
+        if runnable.name in self._runnables:
+            raise ConfigurationError(
+                f"duplicate runnable {runnable.name!r} on {self.name}"
+            )
+        self._runnables[runnable.name] = runnable
+
+    def add_event(self, event: RteEvent) -> None:
+        """Attach an event; it must reference declared entities."""
+        if event.runnable not in self._runnables:
+            raise ConfigurationError(
+                f"event references unknown runnable {event.runnable!r} "
+                f"on component {self.name}"
+            )
+        if isinstance(event, (DataReceivedEvent,)):
+            port = self.port(event.port)
+            if not port.is_required or not port.is_sender_receiver:
+                raise ConfigurationError(
+                    f"data-received event needs a required S/R port, "
+                    f"got {event.port!r} on {self.name}"
+                )
+        if isinstance(event, OperationInvokedEvent):
+            port = self.port(event.port)
+            if not port.is_provided or not port.is_client_server:
+                raise ConfigurationError(
+                    f"operation-invoked event needs a provided C/S port, "
+                    f"got {event.port!r} on {self.name}"
+                )
+        self.events.append(event)
+
+    def add_operation_handler(
+        self, port: str, operation: str, handler: Any
+    ) -> None:
+        """Register the implementation of a provided C/S operation."""
+        prototype = self.port(port)
+        if not prototype.is_provided or not prototype.is_client_server:
+            raise ConfigurationError(
+                f"operation handler needs a provided C/S port; "
+                f"{self.name}.{port} is not one"
+            )
+        prototype.interface.operation(operation)  # type: ignore[union-attr]
+        self.operation_handlers[(port, operation)] = handler
+
+    def port(self, name: str) -> PortPrototype:
+        """Look up a port prototype by name."""
+        try:
+            return self._ports[name]
+        except KeyError:
+            raise PortError(
+                f"component {self.name} has no port {name!r}"
+            ) from None
+
+    def runnable(self, name: str) -> Runnable:
+        """Look up a runnable by name."""
+        try:
+            return self._runnables[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"component {self.name} has no runnable {name!r}"
+            ) from None
+
+    def instantiate(self, instance_name: str) -> "ComponentInstance":
+        """Create a runtime instance of this type."""
+        return ComponentInstance(instance_name, self)
+
+    def __repr__(self) -> str:
+        return f"<ComponentType {self.name}>"
+
+
+@dataclass(frozen=True)
+class DelegationPort:
+    """Composition boundary port delegating to an inner prototype port."""
+
+    outer_name: str
+    inner_component: str
+    inner_port: str
+
+
+class CompositionType:
+    """A composite component: prototypes of inner components plus
+    assembly connectors between them and delegation ports outward.
+
+    Compositions are flattened at system-build time; the RTE only ever
+    sees atomic instances, matching how AUTOSAR tooling flattens the
+    VFB view into the ECU extract.
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ConfigurationError("composition needs a non-empty name")
+        self.name = name
+        self.prototypes: dict[str, ComponentType] = {}
+        self.assembly_connectors: list[tuple[str, str, str, str]] = []
+        self.delegation_ports: list[DelegationPort] = []
+
+    def add_prototype(self, prototype_name: str, ctype: ComponentType) -> None:
+        """Embed a component type under a local prototype name."""
+        if prototype_name in self.prototypes:
+            raise ConfigurationError(
+                f"duplicate prototype {prototype_name!r} in {self.name}"
+            )
+        self.prototypes[prototype_name] = ctype
+
+    def connect(
+        self, from_proto: str, from_port: str, to_proto: str, to_port: str
+    ) -> None:
+        """Assembly connector between two inner prototypes."""
+        for proto, port in ((from_proto, from_port), (to_proto, to_port)):
+            if proto not in self.prototypes:
+                raise ConfigurationError(
+                    f"composition {self.name} has no prototype {proto!r}"
+                )
+            self.prototypes[proto].port(port)
+        src = self.prototypes[from_proto].port(from_port)
+        dst = self.prototypes[to_proto].port(to_port)
+        if not src.is_provided or not dst.is_required:
+            raise ConfigurationError(
+                f"assembly connector must run provided->required "
+                f"({from_proto}.{from_port} -> {to_proto}.{to_port})"
+            )
+        if not src.interface.compatible_with(dst.interface):
+            raise ConfigurationError(
+                f"incompatible interfaces on connector "
+                f"{from_proto}.{from_port} -> {to_proto}.{to_port}"
+            )
+        self.assembly_connectors.append(
+            (from_proto, from_port, to_proto, to_port)
+        )
+
+    def delegate(
+        self, outer_name: str, inner_component: str, inner_port: str
+    ) -> None:
+        """Expose an inner port on the composition boundary."""
+        if inner_component not in self.prototypes:
+            raise ConfigurationError(
+                f"composition {self.name} has no prototype {inner_component!r}"
+            )
+        self.prototypes[inner_component].port(inner_port)
+        if any(d.outer_name == outer_name for d in self.delegation_ports):
+            raise ConfigurationError(
+                f"duplicate delegation port {outer_name!r} on {self.name}"
+            )
+        self.delegation_ports.append(
+            DelegationPort(outer_name, inner_component, inner_port)
+        )
+
+    def flatten(
+        self, instance_prefix: str
+    ) -> tuple[list[tuple[str, ComponentType]], list[tuple[str, str, str, str]]]:
+        """Expand into atomic instances and instance-level connectors.
+
+        Returns ``(instances, connectors)`` where instance names are
+        ``prefix.prototype`` and connectors reference those names.
+        """
+        instances = [
+            (f"{instance_prefix}.{proto}", ctype)
+            for proto, ctype in self.prototypes.items()
+        ]
+        connectors = [
+            (
+                f"{instance_prefix}.{a}",
+                ap,
+                f"{instance_prefix}.{b}",
+                bp,
+            )
+            for a, ap, b, bp in self.assembly_connectors
+        ]
+        return instances, connectors
+
+    def resolve_delegation(
+        self, instance_prefix: str, outer_name: str
+    ) -> tuple[str, str]:
+        """Map a boundary port to its inner ``(instance, port)`` pair."""
+        for delegation in self.delegation_ports:
+            if delegation.outer_name == outer_name:
+                return (
+                    f"{instance_prefix}.{delegation.inner_component}",
+                    delegation.inner_port,
+                )
+        raise PortError(
+            f"composition {self.name} has no delegation port {outer_name!r}"
+        )
+
+
+class ComponentInstance:
+    """A runtime instance of an atomic component type on one ECU."""
+
+    def __init__(self, name: str, ctype: ComponentType) -> None:
+        if not name:
+            raise ConfigurationError("component instance needs a name")
+        self.name = name
+        self.ctype = ctype
+        self.ports: dict[str, PortInstance] = {
+            p.name: PortInstance(name, p) for p in ctype.ports
+        }
+        self.rte: Optional["Rte"] = None
+        #: Free-form per-instance state for runnable bodies.
+        self.state: dict[str, Any] = {}
+
+    def port(self, name: str) -> PortInstance:
+        """Look up a runtime port by name."""
+        try:
+            return self.ports[name]
+        except KeyError:
+            raise PortError(
+                f"instance {self.name} has no port {name!r}"
+            ) from None
+
+    def write(self, port: str, element: str, value: Any) -> None:
+        """Rte_Write: send ``value`` out of a provided S/R port."""
+        if self.rte is None:
+            raise ConfigurationError(
+                f"instance {self.name} is not bound to an RTE"
+            )
+        self.rte.write(self, port, element, value)
+
+    def read(self, port: str, element: str) -> Any:
+        """Rte_Read: last-is-best read from a required S/R port."""
+        return self.port(port).read_latest(element)
+
+    def receive(self, port: str, element: str) -> Any:
+        """Rte_Receive: queued read from a required S/R port."""
+        return self.port(port).receive(element)
+
+    def pending(self, port: str, element: str) -> int:
+        """Unconsumed values on a required port element."""
+        return self.port(port).pending(element)
+
+    def call(self, port: str, operation: str, **arguments: Any) -> Any:
+        """Rte_Call: synchronous client-server invocation."""
+        if self.rte is None:
+            raise ConfigurationError(
+                f"instance {self.name} is not bound to an RTE"
+            )
+        return self.rte.call(self, port, operation, arguments)
+
+    def __repr__(self) -> str:
+        return f"<ComponentInstance {self.name} of {self.ctype.name}>"
+
+
+__all__ = [
+    "ComponentType",
+    "CompositionType",
+    "DelegationPort",
+    "ComponentInstance",
+]

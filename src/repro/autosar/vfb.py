@@ -1,0 +1,68 @@
+"""Virtual Function Bus: the design-time connector model.
+
+The VFB view is location-transparent: connectors join component instance
+ports without saying where the instances run.  The RTE generator later
+maps each connector either to a local route (same ECU) or to COM signals
+over the vehicle network (different ECUs) — the components themselves
+never change, which is the AUTOSAR property the paper's plug-in model
+mirrors at the plug-in level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.autosar.ports import PortPrototype
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Connector:
+    """One VFB assembly connector between two instance ports."""
+
+    from_instance: str
+    from_port: str
+    to_instance: str
+    to_port: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.from_instance}.{self.from_port} -> "
+            f"{self.to_instance}.{self.to_port}"
+        )
+
+
+def validate_connector(
+    connector: Connector,
+    from_proto: PortPrototype,
+    to_proto: PortPrototype,
+) -> None:
+    """Check direction and interface compatibility of a connector.
+
+    Sender-receiver connectors run provided -> required.  Client-server
+    connectors run required (client) -> provided (server); we normalise
+    them in the system description so ``from`` is always the client.
+    """
+    if from_proto.is_sender_receiver != to_proto.is_sender_receiver:
+        raise ConfigurationError(
+            f"connector {connector}: mixed interface kinds"
+        )
+    if from_proto.is_sender_receiver:
+        if not (from_proto.is_provided and to_proto.is_required):
+            raise ConfigurationError(
+                f"S/R connector {connector} must run provided -> required"
+            )
+    else:
+        if not (from_proto.is_required and to_proto.is_provided):
+            raise ConfigurationError(
+                f"C/S connector {connector} must run client(required) -> "
+                f"server(provided)"
+            )
+    if not from_proto.interface.compatible_with(to_proto.interface):
+        raise ConfigurationError(
+            f"connector {connector}: incompatible interfaces "
+            f"({from_proto.interface.name} vs {to_proto.interface.name})"
+        )
+
+
+__all__ = ["Connector", "validate_connector"]

@@ -1,0 +1,15 @@
+"""Baselines the paper's dynamic model is compared against."""
+
+from repro.baselines.reflash import (
+    ReflashCampaign,
+    ReflashParameters,
+    ota_reflash_time_us,
+    workshop_reflash_time_us,
+)
+
+__all__ = [
+    "ReflashCampaign",
+    "ReflashParameters",
+    "ota_reflash_time_us",
+    "workshop_reflash_time_us",
+]

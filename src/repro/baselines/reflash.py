@@ -1,0 +1,99 @@
+"""Baseline: classical static reconfiguration by ECU reflash.
+
+"Although AUTOSAR provides a lot of flexibility in reconfiguring a
+system, ... any changes require the software to be rebuilt and the ECU
+to be reprogrammed" (paper Sec. 2).  This module models that baseline so
+the DEPLOY experiment can compare it against dynamic plug-in
+installation.
+
+The model charges, per vehicle:
+
+1. **download** of the full ECU image over the cellular link
+   (bandwidth-limited, same channel profile as the dynamic path);
+2. **flash programming** at a fixed erase+program rate;
+3. **ECU reboot and bus re-synchronisation**.
+
+Workshop reflash (no OTA capability) instead charges a fixed service
+visit latency, which is the realistic pre-dynamic deployment route.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.channel import CELLULAR, ChannelProfile
+from repro.sim.kernel import SECOND
+
+
+@dataclass(frozen=True)
+class ReflashParameters:
+    """Timing model of the reflash baseline."""
+
+    #: Full ECU image size in bytes (BSW + RTE + all ASW, rebuilt).
+    image_size: int = 2 * 1024 * 1024
+    #: Flash erase+program throughput, bytes per second.
+    flash_rate: int = 64 * 1024
+    #: ECU reboot plus bus resynchronisation time, microseconds.
+    reboot_us: int = 8 * SECOND
+    #: Channel used for the OTA download.
+    channel: ChannelProfile = CELLULAR
+    #: Protocol efficiency of the diagnostic download (UDS block
+    #: transfer overheads), 0..1.
+    download_efficiency: float = 0.7
+
+
+def ota_reflash_time_us(params: ReflashParameters) -> int:
+    """End-to-end time to OTA-reflash one ECU, in microseconds."""
+    if params.channel.bytes_per_us <= 0:
+        download = 0
+    else:
+        effective_rate = params.channel.bytes_per_us * params.download_efficiency
+        download = int(round(params.image_size / effective_rate))
+    download += 2 * params.channel.latency_us  # session setup
+    flashing = int(round(params.image_size / params.flash_rate * SECOND))
+    return download + flashing + params.reboot_us
+
+
+def workshop_reflash_time_us(
+    params: ReflashParameters,
+    service_visit_us: int = 24 * 3600 * SECOND,
+) -> int:
+    """Time including the wait for a workshop visit (default: one day).
+
+    Before OTA, reprogramming meant a service appointment; the visit
+    latency dominates by orders of magnitude.
+    """
+    flashing = int(round(params.image_size / params.flash_rate * SECOND))
+    return service_visit_us + flashing + params.reboot_us
+
+
+@dataclass
+class ReflashCampaign:
+    """Fleet-wide reflash: one ECU image per vehicle, sequential ECUs."""
+
+    params: ReflashParameters
+    ecus_per_vehicle: int = 1
+
+    def vehicle_time_us(self) -> int:
+        """Time to reflash all of one vehicle's affected ECUs."""
+        return self.ecus_per_vehicle * ota_reflash_time_us(self.params)
+
+    def fleet_time_us(self, vehicles: int, parallelism: int = 0) -> int:
+        """Campaign duration for ``vehicles`` cars.
+
+        ``parallelism`` > 0 bounds how many vehicles download at once
+        (backend capacity); 0 means fully parallel.
+        """
+        per_vehicle = self.vehicle_time_us()
+        if parallelism <= 0 or parallelism >= vehicles:
+            return per_vehicle
+        waves = -(-vehicles // parallelism)
+        return waves * per_vehicle
+
+
+__all__ = [
+    "ReflashParameters",
+    "ota_reflash_time_us",
+    "workshop_reflash_time_us",
+    "ReflashCampaign",
+]

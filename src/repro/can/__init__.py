@@ -1,0 +1,7 @@
+"""Classical CAN bus simulation: frames, arbitration, controllers."""
+
+from repro.can.bus import CanBus
+from repro.can.controller import CanController
+from repro.can.frame import MAX_DLC, MAX_STD_ID, CanFrame
+
+__all__ = ["CanBus", "CanController", "CanFrame", "MAX_DLC", "MAX_STD_ID"]

@@ -1,0 +1,110 @@
+"""The dynamic component model — the paper's core contribution.
+
+Plug-ins, deployment contexts (PIC/PLC/ECC), virtual ports, the PIRTE,
+plug-in SW-C factories, and the ECM gateway.
+"""
+
+from repro.core.context import (
+    EMPTY_ECC,
+    Ecc,
+    EccEntry,
+    LinkKind,
+    Pic,
+    Plc,
+    PlcLink,
+    PortInit,
+)
+from repro.core.ecm import EcmPirte, EcmSpec, SwcRoute, make_ecm_swc_type
+from repro.core.external import decode_external, encode_external
+from repro.core.messages import (
+    AckMessage,
+    AckStatus,
+    DataMessage,
+    DiagMessage,
+    InstallMessage,
+    LifecycleMessage,
+    Message,
+    MessageType,
+    PluginHealth,
+    UninstallMessage,
+    decode,
+)
+from repro.core.testbench import BenchReport, PluginTestBench
+from repro.core.pirte import Pirte
+from repro.core.plugin import (
+    ENTRY_ON_INIT,
+    ENTRY_ON_MESSAGE,
+    ENTRY_ON_TIMER,
+    Plugin,
+    PluginPort,
+    PluginState,
+)
+from repro.core.plugin_swc import (
+    MGMT_IF,
+    PIRTE_KEY,
+    RELAY_IF,
+    PluginSwcSpec,
+    RelayLink,
+    ServicePort,
+    get_pirte,
+    make_plugin_swc_type,
+)
+from repro.core.virtual_ports import (
+    RELAY_MESSAGE_SIZE,
+    PortGuard,
+    VirtualPortKind,
+    VirtualPortSpec,
+    decode_relay,
+    encode_relay,
+)
+
+__all__ = [
+    "EMPTY_ECC",
+    "Ecc",
+    "EccEntry",
+    "LinkKind",
+    "Pic",
+    "Plc",
+    "PlcLink",
+    "PortInit",
+    "EcmPirte",
+    "EcmSpec",
+    "SwcRoute",
+    "make_ecm_swc_type",
+    "decode_external",
+    "encode_external",
+    "AckMessage",
+    "AckStatus",
+    "DataMessage",
+    "DiagMessage",
+    "PluginHealth",
+    "BenchReport",
+    "PluginTestBench",
+    "InstallMessage",
+    "LifecycleMessage",
+    "Message",
+    "MessageType",
+    "UninstallMessage",
+    "decode",
+    "Pirte",
+    "ENTRY_ON_INIT",
+    "ENTRY_ON_MESSAGE",
+    "ENTRY_ON_TIMER",
+    "Plugin",
+    "PluginPort",
+    "PluginState",
+    "MGMT_IF",
+    "PIRTE_KEY",
+    "RELAY_IF",
+    "PluginSwcSpec",
+    "RelayLink",
+    "ServicePort",
+    "get_pirte",
+    "make_plugin_swc_type",
+    "RELAY_MESSAGE_SIZE",
+    "PortGuard",
+    "VirtualPortKind",
+    "VirtualPortSpec",
+    "decode_relay",
+    "encode_relay",
+]

@@ -1,0 +1,28 @@
+"""Wire format for external (FES) data messages.
+
+External parties — the smartphone in the paper's example, or peer
+vehicles in a federation — exchange named values with the vehicle:
+``('Wheels', -30)``.  The ECM maps names to in-vehicle destinations via
+the ECC.
+"""
+
+from __future__ import annotations
+
+from repro.core.wire import Reader, Writer
+
+
+def encode_external(message_name: str, value: int) -> bytes:
+    """Encode one named external value."""
+    return Writer().string(message_name).i32(value).getvalue()
+
+
+def decode_external(raw: bytes) -> tuple[str, int]:
+    """Inverse of :func:`encode_external`."""
+    reader = Reader(raw)
+    name = reader.string()
+    value = reader.i32()
+    reader.expect_end()
+    return name, value
+
+
+__all__ = ["encode_external", "decode_external"]

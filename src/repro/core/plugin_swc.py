@@ -1,0 +1,284 @@
+"""Factory for plug-in SW-C component types.
+
+The OEM provides plug-in SW-Cs "which to start with only contain VMs and
+APIs in the form of provided and required SW-C ports" (paper Sec. 3.1.1).
+This module builds such a component type from a declarative spec: which
+type I/II/III SW-C ports it has and which virtual ports the PIRTE maps
+them to.  The embedded PIRTE is created on the component instance at
+ECU start-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.autosar.events import DataReceivedEvent, InitEvent, TimingEvent
+from repro.autosar.interfaces import DataElement, SenderReceiverInterface
+from repro.autosar.ports import PortPrototype, provided_port, required_port
+from repro.autosar.runnable import Runnable
+from repro.autosar.swc import ComponentInstance, ComponentType
+from repro.autosar.types import BYTES, DataType
+from repro.core.pirte import Pirte
+from repro.core.virtual_ports import PortGuard, VirtualPortKind, VirtualPortSpec
+from repro.errors import ConfigurationError
+
+#: Key under which the PIRTE lives in the instance state dict.
+PIRTE_KEY = "pirte"
+
+#: Shared byte-stream interface used by type I and type II ports.
+MGMT_IF = SenderReceiverInterface(
+    "PluginMgmtIf", [DataElement("mgmt", BYTES, queued=True, queue_length=64)]
+)
+RELAY_IF = SenderReceiverInterface(
+    "PluginRelayIf", [DataElement("data", BYTES, queued=True, queue_length=64)]
+)
+
+
+@dataclass(frozen=True)
+class RelayLink:
+    """One type II SW-C port pair toward a peer plug-in SW-C.
+
+    ``out_virtual``/``in_virtual`` are the virtual port names exposed to
+    PLCs (the paper's V0 on the sender and V3 on the receiver).
+    """
+
+    peer: str
+    out_virtual: str
+    in_virtual: str
+    out_port: str = ""
+    in_port: str = ""
+
+    def resolved_out_port(self) -> str:
+        return self.out_port or f"p2p_{self.peer}_out"
+
+    def resolved_in_port(self) -> str:
+        return self.in_port or f"p2p_{self.peer}_in"
+
+
+@dataclass(frozen=True)
+class ServicePort:
+    """One type III SW-C port exposed to plug-ins as a virtual port.
+
+    ``direction`` "out": plug-ins write; the SW-C port is provided.
+    ``direction`` "in": plug-ins receive; the SW-C port is required and
+    its element must be queued.
+    """
+
+    virtual: str
+    swc_port: str
+    direction: str
+    dtype: DataType
+    element: str = "value"
+    to_wire: Optional[Callable[[int], Any]] = None
+    from_wire: Optional[Callable[[Any], int]] = None
+    #: Optional fault protection on critical outbound signals.
+    guard: Optional["PortGuard"] = None
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("in", "out"):
+            raise ConfigurationError(
+                f"service port direction must be 'in' or 'out', "
+                f"got {self.direction!r}"
+            )
+        if self.guard is not None and self.direction != "out":
+            raise ConfigurationError(
+                f"service port {self.virtual}: guards apply to 'out' ports"
+            )
+
+
+@dataclass
+class PluginSwcSpec:
+    """Declarative description of one plug-in SW-C type."""
+
+    type_name: str
+    relays: list[RelayLink] = field(default_factory=list)
+    services: list[ServicePort] = field(default_factory=list)
+    has_mgmt: bool = True
+    dispatch_period_us: int = 2_000
+    timer_period_us: int = 10_000
+    dispatch_exec_us: int = 200
+    vm_memory_blocks: int = 512
+    vm_block_size: int = 64
+    fuel_per_activation: int = 20_000
+
+
+def _service_interface(service: ServicePort) -> SenderReceiverInterface:
+    # Queued semantics in both directions: provided ports hold no buffer
+    # anyway, and receivers must not lose back-to-back plug-in values.
+    return SenderReceiverInterface(
+        f"{service.virtual}_{service.swc_port}_if",
+        [
+            DataElement(
+                service.element,
+                service.dtype,
+                queued=True,
+                queue_length=32,
+            )
+        ],
+    )
+
+
+def build_virtual_port_specs(spec: PluginSwcSpec) -> list[VirtualPortSpec]:
+    """The PIRTE's static virtual port table for a spec."""
+    specs: list[VirtualPortSpec] = []
+    for relay in spec.relays:
+        specs.append(
+            VirtualPortSpec(
+                relay.out_virtual,
+                VirtualPortKind.RELAY_OUT,
+                relay.resolved_out_port(),
+                "data",
+            )
+        )
+        specs.append(
+            VirtualPortSpec(
+                relay.in_virtual,
+                VirtualPortKind.RELAY_IN,
+                relay.resolved_in_port(),
+                "data",
+            )
+        )
+    for service in spec.services:
+        kind = (
+            VirtualPortKind.SERVICE_OUT
+            if service.direction == "out"
+            else VirtualPortKind.SERVICE_IN
+        )
+        specs.append(
+            VirtualPortSpec(
+                service.virtual,
+                kind,
+                service.swc_port,
+                service.element,
+                to_wire=service.to_wire,
+                from_wire=service.from_wire,
+                guard=service.guard,
+            )
+        )
+    return specs
+
+
+def build_ports(spec: PluginSwcSpec) -> list[PortPrototype]:
+    """The SW-C port prototypes for a spec."""
+    ports: list[PortPrototype] = []
+    if spec.has_mgmt:
+        ports.append(required_port("mgmt_in", MGMT_IF))
+        ports.append(provided_port("mgmt_out", MGMT_IF))
+    for relay in spec.relays:
+        ports.append(provided_port(relay.resolved_out_port(), RELAY_IF))
+        ports.append(required_port(relay.resolved_in_port(), RELAY_IF))
+    for service in spec.services:
+        iface = _service_interface(service)
+        if service.direction == "out":
+            ports.append(provided_port(service.swc_port, iface))
+        else:
+            ports.append(required_port(service.swc_port, iface))
+    return ports
+
+
+def get_pirte(instance: ComponentInstance) -> Pirte:
+    """The PIRTE hosted by a plug-in SW-C instance."""
+    pirte = instance.state.get(PIRTE_KEY)
+    if pirte is None:
+        raise ConfigurationError(
+            f"instance {instance.name} has no PIRTE (ECU not booted?)"
+        )
+    return pirte
+
+
+def make_plugin_swc_type(
+    spec: PluginSwcSpec,
+    pirte_factory: Optional[Callable[[ComponentInstance], Pirte]] = None,
+) -> ComponentType:
+    """Build the plug-in SW-C component type for ``spec``.
+
+    ``pirte_factory`` lets the ECM factory substitute its own PIRTE
+    subclass; the default creates a plain :class:`Pirte`.
+    """
+
+    def default_factory(instance: ComponentInstance) -> Pirte:
+        return Pirte(
+            instance,
+            build_virtual_port_specs(spec),
+            mgmt_in="mgmt_in" if spec.has_mgmt else None,
+            mgmt_out="mgmt_out" if spec.has_mgmt else None,
+            vm_memory_blocks=spec.vm_memory_blocks,
+            vm_block_size=spec.vm_block_size,
+            fuel_per_activation=spec.fuel_per_activation,
+        )
+
+    factory = pirte_factory or default_factory
+
+    def ensure_pirte(instance: ComponentInstance) -> Pirte:
+        pirte = instance.state.get(PIRTE_KEY)
+        if pirte is None:
+            pirte = factory(instance)
+            instance.state[PIRTE_KEY] = pirte
+        return pirte
+
+    def init_body(instance: ComponentInstance) -> None:
+        ensure_pirte(instance)
+
+    def dispatch_body(instance: ComponentInstance) -> None:
+        ensure_pirte(instance).step()
+
+    def timer_body(instance: ComponentInstance) -> None:
+        ensure_pirte(instance).timer_tick()
+
+    runnables = [
+        Runnable("init", init_body, execution_time_us=50),
+        Runnable("dispatch", dispatch_body, execution_time_us=spec.dispatch_exec_us),
+        Runnable("timer", timer_body, execution_time_us=spec.dispatch_exec_us),
+    ]
+    events: list = [
+        InitEvent("init"),
+        TimingEvent(
+            "dispatch",
+            period_us=spec.dispatch_period_us,
+            offset_us=spec.dispatch_period_us,
+        ),
+        TimingEvent(
+            "timer",
+            period_us=spec.timer_period_us,
+            offset_us=spec.timer_period_us,
+        ),
+    ]
+    if spec.has_mgmt:
+        events.append(
+            DataReceivedEvent("dispatch", port="mgmt_in", element="mgmt")
+        )
+    for relay in spec.relays:
+        events.append(
+            DataReceivedEvent(
+                "dispatch", port=relay.resolved_in_port(), element="data"
+            )
+        )
+    for service in spec.services:
+        if service.direction == "in":
+            events.append(
+                DataReceivedEvent(
+                    "dispatch", port=service.swc_port, element=service.element
+                )
+            )
+
+    return ComponentType(
+        spec.type_name,
+        ports=build_ports(spec),
+        runnables=runnables,
+        events=events,
+    )
+
+
+__all__ = [
+    "PIRTE_KEY",
+    "MGMT_IF",
+    "RELAY_IF",
+    "RelayLink",
+    "ServicePort",
+    "PluginSwcSpec",
+    "build_virtual_port_specs",
+    "build_ports",
+    "get_pirte",
+    "make_plugin_swc_type",
+]

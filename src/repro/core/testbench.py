@@ -1,0 +1,155 @@
+"""Plug-in developer test bench.
+
+The paper's future work calls for tooling "to produce reliable quality
+plug-ins".  This module is that tool: it runs a plug-in binary against
+scripted port traffic *without* building a vehicle — same VM, same
+fuel/memory quotas, same entry-point conventions as the real PIRTE —
+so developers can unit-test plug-ins before uploading them to the
+trusted server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import VmTrap
+from repro.vm.loader import PluginBinary, compile_plugin, unpack
+from repro.vm.machine import Vm
+
+
+@dataclass
+class BenchReport:
+    """Outcome of one test-bench run."""
+
+    writes: list[tuple[int, int]] = field(default_factory=list)
+    emitted: list[int] = field(default_factory=list)
+    activations: int = 0
+    traps: int = 0
+    fuel_used: int = 0
+    trap_messages: list[str] = field(default_factory=list)
+
+    def writes_on(self, port: int) -> list[int]:
+        """Values the plug-in wrote on ``port``, in order."""
+        return [value for p, value in self.writes if p == port]
+
+
+class _BenchBridge:
+    """Port bridge backed by scripted inputs."""
+
+    def __init__(self, report: BenchReport) -> None:
+        self.report = report
+        self.values: dict[int, int] = {}
+        self.queues: dict[int, list[int]] = {}
+
+    def read_port(self, index: int) -> int:
+        return self.values.get(index, 0)
+
+    def write_port(self, index: int, value: int) -> None:
+        self.report.writes.append((index, value))
+
+    def pending(self, index: int) -> int:
+        return len(self.queues.get(index, ()))
+
+    def receive(self, index: int) -> int:
+        queue = self.queues.get(index)
+        if not queue:
+            return 0
+        return queue.pop(0)
+
+
+class PluginTestBench:
+    """Drives one plug-in binary with scripted activations.
+
+    Example::
+
+        bench = PluginTestBench.from_source(MY_SOURCE)
+        bench.init()
+        bench.message(port=0, value=42)
+        bench.timer()
+        assert bench.report.writes_on(1) == [42]
+    """
+
+    def __init__(
+        self,
+        binary: PluginBinary,
+        fuel_per_activation: int = 20_000,
+        memory_cells: Optional[int] = None,
+    ) -> None:
+        self.binary = binary
+        self.report = BenchReport()
+        self._bridge = _BenchBridge(self.report)
+        self._time = 0
+        self.vm = Vm(
+            binary,
+            memory_cells=memory_cells,
+            fuel_per_activation=fuel_per_activation,
+            time_source=lambda: self._time,
+        )
+
+    @classmethod
+    def from_source(cls, source: str, mem_hint: int = 64, **kwargs) -> "PluginTestBench":
+        """Compile plug-in source and wrap it in a bench."""
+        return cls(compile_plugin(source, mem_hint=mem_hint), **kwargs)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes, **kwargs) -> "PluginTestBench":
+        """Load a packed container (as shipped to the server)."""
+        return cls(unpack(raw), **kwargs)
+
+    # -- scripted inputs ----------------------------------------------------
+
+    def set_port(self, port: int, value: int) -> None:
+        """Set the latest value the plug-in sees via RDPORT."""
+        self._bridge.values[port] = value
+
+    def queue_value(self, port: int, value: int) -> None:
+        """Queue a value for RECV-style consumption."""
+        self._bridge.queues.setdefault(port, []).append(value)
+
+    def advance_time(self, delta: int) -> None:
+        """Advance the value returned by the TIME instruction."""
+        self._time += delta
+
+    # -- activations -----------------------------------------------------------
+
+    def _activate(self, entry: str, args: Sequence[int] = ()) -> bool:
+        if not self.binary.has_entry(entry):
+            return False
+        self.report.activations += 1
+        try:
+            result = self.vm.activate(entry, self._bridge, args=tuple(args))
+        except VmTrap as exc:
+            self.report.traps += 1
+            self.report.trap_messages.append(str(exc))
+            return False
+        self.report.fuel_used += result.fuel_used
+        self.report.emitted = list(self.vm.emitted)
+        return True
+
+    def init(self) -> bool:
+        """Run ``on_init`` (if defined); True when it completed."""
+        return self._activate("on_init")
+
+    def message(self, port: int, value: int) -> bool:
+        """Deliver one message activation (mirrors PIRTE delivery)."""
+        self._bridge.values[port] = value
+        return self._activate("on_message", (port, value))
+
+    def timer(self) -> bool:
+        """Run one ``on_timer`` activation."""
+        return self._activate("on_timer")
+
+    def run_script(
+        self, messages: Sequence[tuple[int, int]], timers_between: int = 0
+    ) -> BenchReport:
+        """Convenience: init, then a message sequence with timer ticks."""
+        self.init()
+        for port, value in messages:
+            self.message(port, value)
+            for __ in range(timers_between):
+                self.timer()
+        return self.report
+
+
+__all__ = ["PluginTestBench", "BenchReport"]

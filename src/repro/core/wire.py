@@ -1,0 +1,114 @@
+"""Low-level wire encoding helpers for the dynamic component model.
+
+All management traffic (server <-> ECM, ECM <-> plug-in SW-Cs over type I
+ports) is encoded as real byte strings with these primitives, so
+payload sizes seen by the latency models are the sizes that would cross
+a real network.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import PackagingError
+
+
+class Writer:
+    """Append-only byte buffer with typed put operations."""
+
+    def __init__(self) -> None:
+        self._parts: list[bytes] = []
+
+    def u8(self, value: int) -> "Writer":
+        if not 0 <= value <= 0xFF:
+            raise PackagingError(f"u8 out of range: {value}")
+        self._parts.append(struct.pack("<B", value))
+        return self
+
+    def u16(self, value: int) -> "Writer":
+        if not 0 <= value <= 0xFFFF:
+            raise PackagingError(f"u16 out of range: {value}")
+        self._parts.append(struct.pack("<H", value))
+        return self
+
+    def u32(self, value: int) -> "Writer":
+        if not 0 <= value <= 0xFFFFFFFF:
+            raise PackagingError(f"u32 out of range: {value}")
+        self._parts.append(struct.pack("<I", value))
+        return self
+
+    def i32(self, value: int) -> "Writer":
+        if not -(1 << 31) <= value <= (1 << 31) - 1:
+            raise PackagingError(f"i32 out of range: {value}")
+        self._parts.append(struct.pack("<i", value))
+        return self
+
+    def string(self, value: str) -> "Writer":
+        encoded = value.encode("utf-8")
+        if len(encoded) > 0xFFFF:
+            raise PackagingError(f"string of {len(encoded)} bytes too long")
+        self.u16(len(encoded))
+        self._parts.append(encoded)
+        return self
+
+    def blob(self, value: bytes) -> "Writer":
+        if len(value) > 0xFFFFFFFF:
+            raise PackagingError("blob too long")
+        self.u32(len(value))
+        self._parts.append(bytes(value))
+        return self
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)
+
+
+class Reader:
+    """Sequential typed reader over a byte string."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._offset = 0
+
+    def _take(self, n: int) -> bytes:
+        if self._offset + n > len(self._data):
+            raise PackagingError(
+                f"truncated message: wanted {n} bytes at offset "
+                f"{self._offset}, have {len(self._data)}"
+            )
+        out = self._data[self._offset : self._offset + n]
+        self._offset += n
+        return out
+
+    def u8(self) -> int:
+        return struct.unpack("<B", self._take(1))[0]
+
+    def u16(self) -> int:
+        return struct.unpack("<H", self._take(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack("<I", self._take(4))[0]
+
+    def i32(self) -> int:
+        return struct.unpack("<i", self._take(4))[0]
+
+    def string(self) -> str:
+        length = self.u16()
+        return self._take(length).decode("utf-8")
+
+    def blob(self) -> bytes:
+        length = self.u32()
+        return self._take(length)
+
+    @property
+    def exhausted(self) -> bool:
+        return self._offset == len(self._data)
+
+    def expect_end(self) -> None:
+        """Raise unless every byte has been consumed."""
+        if not self.exhausted:
+            raise PackagingError(
+                f"{len(self._data) - self._offset} trailing bytes in message"
+            )
+
+
+__all__ = ["Writer", "Reader"]

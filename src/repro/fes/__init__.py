@@ -1,0 +1,33 @@
+"""Federated embedded systems layer: vehicles, phones, fleets."""
+
+from repro.fes.example_platform import (
+    ExamplePlatform,
+    build_example_platform,
+    make_example_vehicle_spec,
+    make_remote_control_app,
+)
+from repro.fes.fleet import Fleet, build_fleet
+from repro.fes.phone import ReceivedValue, Smartphone
+from repro.fes.vehicle import (
+    LegacyComponent,
+    PluginSwcPlacement,
+    Vehicle,
+    VehicleSpec,
+    build_vehicle,
+)
+
+__all__ = [
+    "ExamplePlatform",
+    "build_example_platform",
+    "make_example_vehicle_spec",
+    "make_remote_control_app",
+    "Fleet",
+    "build_fleet",
+    "ReceivedValue",
+    "Smartphone",
+    "LegacyComponent",
+    "PluginSwcPlacement",
+    "Vehicle",
+    "VehicleSpec",
+    "build_vehicle",
+]

@@ -1,0 +1,289 @@
+"""The paper's example application platform (Sec. 4, Fig. 3).
+
+A model car with two ECUs: ECU1 carries the ECM SW-C (PIRTE1), ECU2 a
+plug-in SW-C (PIRTE2) exposing virtual ports toward the car's motion
+hardware.  The remote-control APP consists of two plug-ins:
+
+* **COM** on the ECM: listens to the smart phone ('Wheels'/'Speed'
+  messages arrive on its unconnected ports P0/P1 via the ECC) and
+  forwards formatted values through the type II pair to OP
+  (PLC ``{P0-, P1-, P2-V0.P0, P3-V0.P1}``, as printed in the paper).
+* **OP** on ECU2: receives the commands and writes them to the basic
+  software through service virtual ports V4 (WheelsReq) and V5
+  (SpeedReq); V6 (SpeedProv) is provisioned but unused, exactly as in
+  the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.autosar.events import DataReceivedEvent
+from repro.autosar.interfaces import DataElement, SenderReceiverInterface
+from repro.autosar.ports import provided_port, required_port
+from repro.autosar.runnable import Runnable
+from repro.autosar.swc import ComponentType
+from repro.autosar.types import INT16
+from repro.core.plugin_swc import PluginSwcSpec, RelayLink, ServicePort
+from repro.fes.phone import Smartphone
+from repro.fes.vehicle import (
+    LegacyComponent,
+    PluginSwcPlacement,
+    Vehicle,
+    VehicleSpec,
+    build_vehicle,
+)
+from repro.network.channel import CELLULAR, WIFI, ChannelProfile
+from repro.network.sockets import NetworkFabric
+from repro.server.models import (
+    App,
+    ConnectionKind,
+    ConnectionSpec,
+    ExternalSpec,
+    PluginDescriptor,
+    SwConf,
+)
+from repro.server.server import TrustedServer
+from repro.sim.kernel import Simulator
+from repro.sim.random import StreamFactory
+from repro.sim.tracing import Tracer
+from repro.vm.loader import compile_plugin
+
+MODEL = "model-car-rpi"
+PHONE_ADDRESS = "111.22.33.44:56789"
+
+#: COM plug-in: phone commands in on P0/P1, formatted out on P2/P3.
+COM_SOURCE = """
+.entry on_message
+    ; stack: [port, value]
+    STORE 1         ; value
+    STORE 0         ; port
+    LOAD 0
+    JZ wheels
+    LOAD 1
+    WRPORT 3        ; speed -> P3
+    HALT
+wheels:
+    LOAD 1
+    WRPORT 2        ; wheels -> P2
+    HALT
+"""
+
+#: OP plug-in: commands in on P0/P1, actuator writes out on P2/P3.
+OP_SOURCE = """
+.entry on_message
+    STORE 1
+    STORE 0
+    LOAD 0
+    JZ wheels
+    LOAD 1
+    WRPORT 3        ; speed -> P3 (-> V5 SpeedReq)
+    HALT
+wheels:
+    LOAD 1
+    WRPORT 2        ; wheels -> P2 (-> V4 WheelsReq)
+    HALT
+"""
+
+MOTION_IF = SenderReceiverInterface(
+    "MotionIf", [DataElement("value", INT16, queued=True, queue_length=32)]
+)
+
+
+def make_car_actuators_type() -> ComponentType:
+    """Legacy component: the car's wheel/speed actuators (BSW facade)."""
+
+    def on_wheels(instance):
+        while instance.pending("wheels_in", "value"):
+            instance.state.setdefault("wheels", []).append(
+                instance.receive("wheels_in", "value")
+            )
+
+    def on_speed(instance):
+        while instance.pending("speed_in", "value"):
+            instance.state.setdefault("speed", []).append(
+                instance.receive("speed_in", "value")
+            )
+
+    return ComponentType(
+        "CarActuators",
+        ports=[
+            required_port("wheels_in", MOTION_IF),
+            required_port("speed_in", MOTION_IF),
+            provided_port("speed_out", MOTION_IF),
+        ],
+        runnables=[
+            Runnable("on_wheels", on_wheels, execution_time_us=15),
+            Runnable("on_speed", on_speed, execution_time_us=15),
+        ],
+        events=[
+            DataReceivedEvent("on_wheels", port="wheels_in", element="value"),
+            DataReceivedEvent("on_speed", port="speed_in", element="value"),
+        ],
+    )
+
+
+def _clamp_int16(value: int) -> int:
+    return max(-32768, min(32767, value))
+
+
+def make_example_vehicle_spec(
+    vin: str = "VIN-0001",
+    server_address: str = "trusted-server.oem.example:7000",
+) -> VehicleSpec:
+    """The Fig. 3 vehicle: ECM on ECU1, plug-in SW-C on ECU2."""
+    ecm_spec = PluginSwcSpec(
+        "EcmSwc",
+        relays=[RelayLink(peer="swc2", out_virtual="V0", in_virtual="V1")],
+        has_mgmt=False,
+    )
+    swc2_spec = PluginSwcSpec(
+        "PluginSwc2",
+        relays=[RelayLink(peer="swc1", out_virtual="V2", in_virtual="V3")],
+        services=[
+            ServicePort(
+                "V4", "wheels_req", "out", INT16, to_wire=_clamp_int16
+            ),
+            ServicePort(
+                "V5", "speed_req", "out", INT16, to_wire=_clamp_int16
+            ),
+            ServicePort("V6", "speed_prov", "in", INT16),
+        ],
+    )
+    return VehicleSpec(
+        vin=vin,
+        model=MODEL,
+        ecus=["ECU1", "ECU2"],
+        ecm=PluginSwcPlacement("swc1", "ECU1", ecm_spec),
+        plugin_swcs=[PluginSwcPlacement("swc2", "ECU2", swc2_spec)],
+        legacy=[
+            LegacyComponent("actuators", make_car_actuators_type(), "ECU2"),
+        ],
+        connectors=[
+            ("swc2", "wheels_req", "actuators", "wheels_in"),
+            ("swc2", "speed_req", "actuators", "speed_in"),
+            ("actuators", "speed_out", "swc2", "speed_prov"),
+        ],
+        server_address=server_address,
+    )
+
+
+def make_remote_control_app(
+    phone_address: str = PHONE_ADDRESS, version: str = "1.0"
+) -> App:
+    """The two-plug-in remote-control APP with its deployment descriptor."""
+    com = PluginDescriptor(
+        "COM",
+        compile_plugin(COM_SOURCE, mem_hint=8).raw,
+        ("cmd_wheels", "cmd_speed", "out_wheels", "out_speed"),
+    )
+    op = PluginDescriptor(
+        "OP",
+        compile_plugin(OP_SOURCE, mem_hint=8).raw,
+        ("in_wheels", "in_speed", "act_wheels", "act_speed"),
+    )
+    conf = SwConf(
+        model=MODEL,
+        placements=(("COM", "swc1"), ("OP", "swc2")),
+        connections=(
+            ConnectionSpec(ConnectionKind.UNCONNECTED, "COM", "cmd_wheels"),
+            ConnectionSpec(ConnectionKind.UNCONNECTED, "COM", "cmd_speed"),
+            ConnectionSpec(
+                ConnectionKind.PLUGIN, "COM", "out_wheels",
+                target_plugin="OP", target_port="in_wheels",
+            ),
+            ConnectionSpec(
+                ConnectionKind.PLUGIN, "COM", "out_speed",
+                target_plugin="OP", target_port="in_speed",
+            ),
+            ConnectionSpec(
+                ConnectionKind.VIRTUAL, "OP", "act_wheels",
+                target_virtual="V4",
+            ),
+            ConnectionSpec(
+                ConnectionKind.VIRTUAL, "OP", "act_speed",
+                target_virtual="V5",
+            ),
+        ),
+        externals=(
+            ExternalSpec(phone_address, "Wheels", "COM", "cmd_wheels"),
+            ExternalSpec(phone_address, "Speed", "COM", "cmd_speed"),
+        ),
+    )
+    return App(
+        name="remote-control",
+        version=version,
+        plugins={"COM": com, "OP": op},
+        sw_confs=[conf],
+    )
+
+
+@dataclass
+class ExamplePlatform:
+    """The full Fig. 3 federated system, assembled and bootable."""
+
+    sim: Simulator
+    tracer: Tracer
+    fabric: NetworkFabric
+    server: TrustedServer
+    phone: Smartphone
+    vehicle: Vehicle
+    user_id: str = "user-1"
+
+    def boot(self) -> None:
+        """Boot the vehicle and let the ECM connect to the server."""
+        self.vehicle.boot()
+
+    def run(self, duration_us: int) -> None:
+        self.vehicle.run(duration_us)
+
+    def deploy_remote_control(self):
+        """Trigger the install through the server's web services."""
+        return self.server.web.deploy(
+            self.user_id, self.vehicle.vin, "remote-control"
+        )
+
+    def actuator_state(self) -> dict:
+        return self.vehicle.system.instance("actuators").state
+
+
+def build_example_platform(
+    seed: int = 0,
+    phone_address: str = PHONE_ADDRESS,
+    cellular_profile: Optional[ChannelProfile] = None,
+    trace: bool = True,
+) -> ExamplePlatform:
+    """Build the complete demonstrator: server + phone + vehicle."""
+    sim = Simulator()
+    tracer = Tracer(enabled=trace)
+    fabric = NetworkFabric(sim, StreamFactory(seed), tracer=tracer)
+    server_address = "trusted-server.oem.example:7000"
+    # The server listens on the cellular profile; the phone on Wi-Fi.
+    fabric.default_profile = cellular_profile or CELLULAR
+    server = TrustedServer(fabric, server_address)
+    phone = Smartphone(fabric, phone_address, sim)
+    fabric.set_listener_profile(phone_address, WIFI)
+    spec = make_example_vehicle_spec(server_address=server_address)
+    vehicle = build_vehicle(spec, fabric, sim=sim, tracer=tracer)
+    platform = ExamplePlatform(sim, tracer, fabric, server, phone, vehicle)
+    # OEM + user setup on the server.
+    hw, system_sw = spec.describe_for_server()
+    server.web.register_vehicle(spec.vin, spec.model, hw, system_sw)
+    server.web.create_user(platform.user_id, "Example User")
+    server.web.bind_vehicle(platform.user_id, spec.vin)
+    server.web.upload_app(make_remote_control_app(phone_address))
+    return platform
+
+
+__all__ = [
+    "MODEL",
+    "PHONE_ADDRESS",
+    "COM_SOURCE",
+    "OP_SOURCE",
+    "make_car_actuators_type",
+    "make_example_vehicle_spec",
+    "make_remote_control_app",
+    "ExamplePlatform",
+    "build_example_platform",
+]

@@ -1,0 +1,104 @@
+"""Fleets: many vehicles federated through one trusted server.
+
+Used by the OTA-deployment experiments: build N copies of the example
+vehicle on one simulator, deploy an APP to all of them, and observe the
+per-vehicle completion times on the shared server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.fes.example_platform import make_example_vehicle_spec
+from repro.fes.vehicle import Vehicle, VehicleSpec, build_vehicle
+from repro.network.channel import CELLULAR, ChannelProfile
+from repro.network.sockets import NetworkFabric
+from repro.server.models import InstallStatus
+from repro.server.server import TrustedServer
+from repro.sim.kernel import Simulator
+from repro.sim.random import StreamFactory
+from repro.sim.tracing import Tracer
+
+
+@dataclass
+class Fleet:
+    """N vehicles + one trusted server on one simulator."""
+
+    sim: Simulator
+    tracer: Tracer
+    fabric: NetworkFabric
+    server: TrustedServer
+    vehicles: list[Vehicle]
+    user_id: str = "fleet-admin"
+
+    def boot(self) -> None:
+        for vehicle in self.vehicles:
+            vehicle.boot()
+
+    def run(self, duration_us: int) -> None:
+        self.boot()
+        self.sim.run_for(duration_us)
+
+    def deploy_everywhere(self, app_name: str) -> list:
+        """Request installation of ``app_name`` on every vehicle."""
+        return [
+            self.server.web.deploy(self.user_id, vehicle.vin, app_name)
+            for vehicle in self.vehicles
+        ]
+
+    def active_count(self, app_name: str) -> int:
+        """Vehicles on which ``app_name`` is fully installed and acked."""
+        count = 0
+        for vehicle in self.vehicles:
+            status = self.server.web.installation_status(vehicle.vin, app_name)
+            if status is InstallStatus.ACTIVE:
+                count += 1
+        return count
+
+    def run_until_active(
+        self, app_name: str, timeout_us: int, step_us: int = 50_000
+    ) -> int:
+        """Advance time until all installs acked; returns elapsed us."""
+        self.boot()
+        start = self.sim.now
+        while self.sim.now - start < timeout_us:
+            self.sim.run_for(step_us)
+            if self.active_count(app_name) == len(self.vehicles):
+                return self.sim.now - start
+        return -1
+
+
+def build_fleet(
+    size: int,
+    seed: int = 0,
+    spec_factory: Optional[Callable[[str, str], VehicleSpec]] = None,
+    cellular_profile: Optional[ChannelProfile] = None,
+    trace: bool = False,
+) -> Fleet:
+    """Build ``size`` example vehicles registered on one server."""
+    sim = Simulator()
+    tracer = Tracer(enabled=trace)
+    fabric = NetworkFabric(
+        sim, StreamFactory(seed), tracer=tracer,
+        default_profile=cellular_profile or CELLULAR,
+    )
+    address = "trusted-server.oem.example:7000"
+    server = TrustedServer(fabric, address)
+    factory = spec_factory or (
+        lambda vin, addr: make_example_vehicle_spec(vin, server_address=addr)
+    )
+    fleet = Fleet(sim, tracer, fabric, server, [])
+    server.web.create_user(fleet.user_id, "Fleet Admin")
+    for index in range(size):
+        vin = f"VIN-{index:04d}"
+        spec = factory(vin, address)
+        vehicle = build_vehicle(spec, fabric, sim=sim, tracer=tracer)
+        fleet.vehicles.append(vehicle)
+        hw, system_sw = spec.describe_for_server()
+        server.web.register_vehicle(vin, spec.model, hw, system_sw)
+        server.web.bind_vehicle(fleet.user_id, vin)
+    return fleet
+
+
+__all__ = ["Fleet", "build_fleet"]

@@ -1,0 +1,24 @@
+"""Simulated network substrate: channels, links, and socket-like fabric."""
+
+from repro.network.channel import (
+    CELLULAR,
+    IDEAL,
+    WIFI,
+    WIRED,
+    Channel,
+    ChannelProfile,
+    DuplexLink,
+)
+from repro.network.sockets import Endpoint, NetworkFabric
+
+__all__ = [
+    "CELLULAR",
+    "IDEAL",
+    "WIFI",
+    "WIRED",
+    "Channel",
+    "ChannelProfile",
+    "DuplexLink",
+    "Endpoint",
+    "NetworkFabric",
+]

@@ -1,0 +1,181 @@
+"""Socket-like API over simulated channels.
+
+The paper's ECM PIRTE "creates a socket client to set up a connection with
+a pre-defined trusted server".  This module provides that shape: a
+:class:`NetworkFabric` in which servers :meth:`~NetworkFabric.listen` on
+string addresses (``"server.oem.example:7000"``) and clients
+:meth:`~NetworkFabric.connect`, yielding a pair of :class:`Endpoint`
+objects over a :class:`DuplexLink`.
+
+Messages are arbitrary picklable objects plus an explicit ``size`` so the
+latency model can account for serialization without the overhead of real
+byte encoding for every hop (installation packages *are* shipped as real
+bytes; see ``repro.core.packaging``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import (
+    AddressInUseError,
+    ChannelClosedError,
+    ConnectionRefusedError_,
+)
+from repro.network.channel import ChannelProfile, DuplexLink, WIRED
+from repro.sim.kernel import Simulator
+from repro.sim.random import StreamFactory
+from repro.sim.tracing import Tracer
+
+
+class Endpoint:
+    """One side of an established connection.
+
+    Incoming messages are queued until a receive callback is installed;
+    installing the callback flushes the queue in order.
+    """
+
+    def __init__(self, name: str, tx: Any, rx: Any) -> None:
+        self.name = name
+        self._tx = tx
+        self._rx = rx
+        self._callback: Optional[Callable[[Any], None]] = None
+        self._backlog: list[Any] = []
+        rx.on_receive(self._on_message)
+
+    def send(self, message: Any, size: int = 0) -> None:
+        """Send one message to the peer."""
+        self._tx.send(message, size=size)
+
+    def on_receive(self, callback: Callable[[Any], None]) -> None:
+        """Install the receive handler and flush any queued messages."""
+        self._callback = callback
+        while self._backlog and self._callback is not None:
+            self._callback(self._backlog.pop(0))
+
+    def _on_message(self, message: Any) -> None:
+        if self._callback is None:
+            self._backlog.append(message)
+        else:
+            self._callback(message)
+
+    def close(self) -> None:
+        """Close the underlying transmit/receive channels."""
+        self._tx.close()
+        self._rx.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._tx.closed
+
+
+@dataclass
+class _Listener:
+    address: str
+    profile: ChannelProfile
+    on_connect: Callable[["Endpoint", str], None]
+    accepted: int = 0
+
+
+class NetworkFabric:
+    """Registry of listeners and factory of connections between them.
+
+    One fabric typically models "the internet plus the cellular network":
+    the trusted server listens, each vehicle's ECM dials out.  A second
+    fabric (or the same one with another profile) models the local
+    wireless segment between a phone and a vehicle.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        streams: Optional[StreamFactory] = None,
+        tracer: Optional[Tracer] = None,
+        default_profile: ChannelProfile = WIRED,
+    ) -> None:
+        self.sim = sim
+        self.streams = streams or StreamFactory(0)
+        self.tracer = tracer
+        self.default_profile = default_profile
+        self._listeners: dict[str, _Listener] = {}
+        self._connections: list[DuplexLink] = []
+
+    def listen(
+        self,
+        address: str,
+        on_connect: Callable[[Endpoint, str], None],
+        profile: Optional[ChannelProfile] = None,
+    ) -> None:
+        """Bind a listener to ``address``.
+
+        ``on_connect(endpoint, peer_name)`` fires for each established
+        connection, after the connect latency has elapsed.
+        """
+        if address in self._listeners:
+            raise AddressInUseError(f"address {address!r} already bound")
+        self._listeners[address] = _Listener(
+            address, profile or self.default_profile, on_connect
+        )
+
+    def unlisten(self, address: str) -> None:
+        """Remove a listener; existing connections stay up."""
+        self._listeners.pop(address, None)
+
+    def set_listener_profile(self, address: str, profile: ChannelProfile) -> None:
+        """Change the channel profile used for future connections."""
+        listener = self._listeners.get(address)
+        if listener is None:
+            raise ConnectionRefusedError_(f"nothing listening at {address!r}")
+        listener.profile = profile
+
+    def is_listening(self, address: str) -> bool:
+        """Whether a listener is currently bound at ``address``."""
+        return address in self._listeners
+
+    def connect(
+        self,
+        address: str,
+        client_name: str,
+        on_connected: Callable[[Endpoint], None],
+        profile: Optional[ChannelProfile] = None,
+    ) -> None:
+        """Dial ``address``; ``on_connected`` fires after one RTT.
+
+        Raises :class:`ConnectionRefusedError_` immediately when nothing
+        listens at ``address`` (the simulated SYN would be rejected).
+        """
+        listener = self._listeners.get(address)
+        if listener is None:
+            raise ConnectionRefusedError_(f"nothing listening at {address!r}")
+        chosen = profile or listener.profile
+        link_name = f"{client_name}->{address}#{len(self._connections)}"
+        link = DuplexLink(
+            self.sim,
+            chosen,
+            link_name,
+            rng_a=self.streams.stream(f"{link_name}:a"),
+            rng_b=self.streams.stream(f"{link_name}:b"),
+            tracer=self.tracer,
+        )
+        self._connections.append(link)
+        client_end = Endpoint(f"{link_name}:client", link.a_to_b, link.b_to_a)
+        server_end = Endpoint(f"{link_name}:server", link.b_to_a, link.a_to_b)
+        # Model connection establishment as one round trip before either
+        # side learns about the connection.
+        rtt = 2 * chosen.latency_us
+
+        def establish() -> None:
+            listener.accepted += 1
+            listener.on_connect(server_end, client_name)
+            on_connected(client_end)
+
+        self.sim.schedule(rtt, establish, f"connect:{link_name}")
+
+    @property
+    def connection_count(self) -> int:
+        """Total connections ever established on this fabric."""
+        return len(self._connections)
+
+
+__all__ = ["Endpoint", "NetworkFabric"]

@@ -1,0 +1,62 @@
+"""The trusted server: models, database, checks, context generation."""
+
+from repro.server.compatibility import CompatibilityReport, check_compatibility
+from repro.server.contextgen import (
+    GeneratedPackage,
+    PortIdAllocator,
+    generate_packages,
+)
+from repro.server.database import Database
+from repro.server.models import (
+    App,
+    ConnectionKind,
+    ConnectionSpec,
+    EcuHw,
+    ExternalSpec,
+    HwConf,
+    InstallStatus,
+    InstalledApp,
+    InstalledPlugin,
+    PluginDescriptor,
+    PluginSwcDesc,
+    SwConf,
+    SystemSwConf,
+    User,
+    Vehicle,
+    VehicleConf,
+    VirtualPortDesc,
+)
+from repro.server.pusher import Pusher
+from repro.server.server import DEFAULT_ADDRESS, TrustedServer
+from repro.server.webservices import OperationResult, WebServices
+
+__all__ = [
+    "CompatibilityReport",
+    "check_compatibility",
+    "GeneratedPackage",
+    "PortIdAllocator",
+    "generate_packages",
+    "Database",
+    "App",
+    "ConnectionKind",
+    "ConnectionSpec",
+    "EcuHw",
+    "ExternalSpec",
+    "HwConf",
+    "InstallStatus",
+    "InstalledApp",
+    "InstalledPlugin",
+    "PluginDescriptor",
+    "PluginSwcDesc",
+    "SwConf",
+    "SystemSwConf",
+    "User",
+    "Vehicle",
+    "VehicleConf",
+    "VirtualPortDesc",
+    "Pusher",
+    "DEFAULT_ADDRESS",
+    "TrustedServer",
+    "OperationResult",
+    "WebServices",
+]

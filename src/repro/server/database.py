@@ -1,0 +1,109 @@
+"""In-memory database of the trusted server.
+
+A light relational-style store: one keyed table per entity kind with
+uniqueness enforcement, plus the cross-entity queries the web services
+need (user-vehicle binding, dependent-app lookup).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import DuplicateEntityError, UnknownEntityError
+from repro.server.models import App, InstalledApp, User, Vehicle
+
+
+class Database:
+    """The server's persistent state (in-memory for the simulation)."""
+
+    def __init__(self) -> None:
+        self.users: dict[str, User] = {}
+        self.vehicles: dict[str, Vehicle] = {}
+        self.apps: dict[str, App] = {}
+
+    # -- users ----------------------------------------------------------------
+
+    def add_user(self, user: User) -> User:
+        if user.user_id in self.users:
+            raise DuplicateEntityError(f"user {user.user_id!r} exists")
+        self.users[user.user_id] = user
+        return user
+
+    def user(self, user_id: str) -> User:
+        try:
+            return self.users[user_id]
+        except KeyError:
+            raise UnknownEntityError(f"no user {user_id!r}") from None
+
+    # -- vehicles -------------------------------------------------------------
+
+    def add_vehicle(self, vehicle: Vehicle) -> Vehicle:
+        if vehicle.vin in self.vehicles:
+            raise DuplicateEntityError(f"vehicle {vehicle.vin!r} exists")
+        self.vehicles[vehicle.vin] = vehicle
+        return vehicle
+
+    def vehicle(self, vin: str) -> Vehicle:
+        try:
+            return self.vehicles[vin]
+        except KeyError:
+            raise UnknownEntityError(f"no vehicle {vin!r}") from None
+
+    def bind_vehicle(self, user_id: str, vin: str) -> None:
+        """Associate a vehicle with a user (the user-setup operation)."""
+        user = self.user(user_id)
+        vehicle = self.vehicle(vin)
+        if vehicle.owner is not None and vehicle.owner != user_id:
+            raise DuplicateEntityError(
+                f"vehicle {vin} already bound to user {vehicle.owner}"
+            )
+        vehicle.owner = user_id
+        if vin not in user.vehicles:
+            user.vehicles.append(vin)
+
+    def vehicles_of(self, user_id: str) -> list[Vehicle]:
+        return [self.vehicle(vin) for vin in self.user(user_id).vehicles]
+
+    # -- apps -----------------------------------------------------------------
+
+    def add_app(self, app: App) -> App:
+        if app.name in self.apps:
+            raise DuplicateEntityError(f"app {app.name!r} exists")
+        self.apps[app.name] = app
+        return app
+
+    def replace_app(self, app: App) -> App:
+        """Upload a new version of an existing APP."""
+        existing = self.app(app.name)
+        if app.version == existing.version:
+            raise DuplicateEntityError(
+                f"app {app.name!r} version {app.version} already stored"
+            )
+        self.apps[app.name] = app
+        return app
+
+    def app(self, name: str) -> App:
+        try:
+            return self.apps[name]
+        except KeyError:
+            raise UnknownEntityError(f"no app {name!r}") from None
+
+    # -- installations ----------------------------------------------------------
+
+    def installed_apps(self, vin: str) -> Iterator[InstalledApp]:
+        yield from self.vehicle(vin).conf.installed.values()
+
+    def installation(self, vin: str, app_name: str) -> Optional[InstalledApp]:
+        return self.vehicle(vin).conf.installed.get(app_name)
+
+    def dependents_of(self, vin: str, app_name: str) -> list[str]:
+        """Installed APPs on ``vin`` that depend on ``app_name``."""
+        out = []
+        for installed in self.installed_apps(vin):
+            app = self.apps.get(installed.app_name)
+            if app is not None and app_name in app.dependencies:
+                out.append(app.name)
+        return out
+
+
+__all__ = ["Database"]

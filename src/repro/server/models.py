@@ -1,0 +1,286 @@
+"""Data model of the trusted server (paper Fig. 2).
+
+User-side entities: :class:`User`, :class:`Vehicle` with its
+:class:`VehicleConf` (hardware configuration, built-in software
+configuration, installed-APP records).
+
+Developer-side entities: :class:`App` with its plug-in binaries and one
+or more :class:`SwConf` deployment descriptors describing, per vehicle
+model, where the plug-ins go and how their ports connect.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.virtual_ports import VirtualPortKind
+from repro.errors import ConfigurationError
+
+
+# -- user / vehicle side -----------------------------------------------------
+
+
+@dataclass
+class User:
+    """A registered user of the plug-in portal."""
+
+    user_id: str
+    name: str
+    vehicles: list[str] = field(default_factory=list)  # VINs
+
+
+@dataclass(frozen=True)
+class VirtualPortDesc:
+    """One virtual port of a plug-in SW-C, as exposed by the OEM.
+
+    ``peer_swc`` names the opposite plug-in SW-C for relay ports (the
+    server needs it to pick the right type II pair when translating
+    cross-SW-C connections into VIRTUAL_REMOTE links).
+    """
+
+    name: str
+    kind: VirtualPortKind
+    peer_swc: str = ""
+
+
+@dataclass(frozen=True)
+class PluginSwcDesc:
+    """One plug-in SW-C of the vehicle's exposed API (SystemSW conf)."""
+
+    swc_name: str
+    ecu_name: str
+    virtual_ports: tuple[VirtualPortDesc, ...] = ()
+    vm_memory_bytes: int = 32_768
+
+    def virtual_port(self, name: str) -> Optional[VirtualPortDesc]:
+        for port in self.virtual_ports:
+            if port.name == name:
+                return port
+        return None
+
+    def relay_toward(self, peer_swc: str) -> Optional[VirtualPortDesc]:
+        """The relay-out virtual port whose pair reaches ``peer_swc``."""
+        for port in self.virtual_ports:
+            if (
+                port.kind is VirtualPortKind.RELAY_OUT
+                and port.peer_swc == peer_swc
+            ):
+                return port
+        return None
+
+
+@dataclass(frozen=True)
+class EcuHw:
+    """One ECU in the hardware configuration."""
+
+    name: str
+    cpu_class: str = "generic"
+
+
+@dataclass(frozen=True)
+class HwConf:
+    """Hardware configuration of a vehicle (HW conf module)."""
+
+    model: str
+    ecus: tuple[EcuHw, ...]
+
+    def has_ecu(self, name: str) -> bool:
+        return any(e.name == name for e in self.ecus)
+
+
+@dataclass(frozen=True)
+class SystemSwConf:
+    """Built-in software configuration: the exposed plug-in API."""
+
+    swcs: tuple[PluginSwcDesc, ...]
+
+    def swc(self, name: str) -> Optional[PluginSwcDesc]:
+        for desc in self.swcs:
+            if desc.swc_name == name:
+                return desc
+        return None
+
+
+class InstallStatus(enum.Enum):
+    """Server-side status of an APP on one vehicle."""
+
+    PENDING = "pending"            # packages pushed, awaiting acks
+    ACTIVE = "active"              # all installs acked OK
+    FAILED = "failed"              # at least one negative ack
+    REMOVING = "removing"          # uninstall pushed, awaiting acks
+
+
+@dataclass
+class InstalledPlugin:
+    """Record of one deployed plug-in (InstalledAPP row detail)."""
+
+    plugin_name: str
+    swc_name: str
+    ecu_name: str
+    port_ids: tuple[int, ...]
+    acked: bool = False
+
+
+@dataclass
+class InstalledApp:
+    """One APP's installation record on one vehicle."""
+
+    app_name: str
+    version: str
+    status: InstallStatus
+    plugins: list[InstalledPlugin] = field(default_factory=list)
+
+    def plugin(self, name: str) -> Optional[InstalledPlugin]:
+        for record in self.plugins:
+            if record.plugin_name == name:
+                return record
+        return None
+
+    def all_acked(self) -> bool:
+        return all(record.acked for record in self.plugins)
+
+
+@dataclass
+class VehicleConf:
+    """The vehicle's complete configuration (Vehicle Conf module)."""
+
+    hw: HwConf
+    system_sw: SystemSwConf
+    installed: dict[str, InstalledApp] = field(default_factory=dict)
+
+    def used_port_ids(self, swc_name: str) -> set[int]:
+        """Port ids already allocated in ``swc_name`` by installed APPs."""
+        used: set[int] = set()
+        for app in self.installed.values():
+            for record in app.plugins:
+                if record.swc_name == swc_name:
+                    used.update(record.port_ids)
+        return used
+
+    def used_memory(self, swc_name: str) -> int:
+        """Declared memory consumed in ``swc_name`` (server estimate)."""
+        # Tracked via the app store at deploy time; see WebServices.
+        return 0
+
+
+@dataclass
+class Vehicle:
+    """A registered vehicle."""
+
+    vin: str
+    model: str
+    conf: VehicleConf
+    owner: Optional[str] = None  # user_id
+    online: bool = False
+    #: Latest diagnostic report per plug-in SW-C (DiagMessage objects).
+    health: dict[str, object] = field(default_factory=dict)
+
+
+# -- developer side ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PluginDescriptor:
+    """One plug-in of an APP: its binary and declared ports."""
+
+    name: str
+    binary: bytes
+    port_names: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("plug-in descriptor needs a name")
+        if len(set(self.port_names)) != len(self.port_names):
+            raise ConfigurationError(
+                f"duplicate port names on plug-in {self.name}"
+            )
+
+
+class ConnectionKind(enum.Enum):
+    """Connection grammar of a SwConf."""
+
+    VIRTUAL = "virtual"          # plug-in port -> a virtual port
+    PLUGIN = "plugin"            # plug-in port -> another plug-in port
+    UNCONNECTED = "unconnected"  # PIRTE-direct
+
+
+@dataclass(frozen=True)
+class ConnectionSpec:
+    """One port connection in a deployment descriptor."""
+
+    kind: ConnectionKind
+    plugin: str
+    port: str
+    target_virtual: str = ""
+    target_plugin: str = ""
+    target_port: str = ""
+
+
+@dataclass(frozen=True)
+class ExternalSpec:
+    """One external route: endpoint + message name -> plug-in port."""
+
+    endpoint: str
+    message_name: str
+    plugin: str
+    port: str
+
+
+@dataclass(frozen=True)
+class SwConf:
+    """Deployment descriptor of an APP for one vehicle model."""
+
+    model: str
+    placements: tuple[tuple[str, str], ...]  # (plugin_name, swc_name)
+    connections: tuple[ConnectionSpec, ...] = ()
+    externals: tuple[ExternalSpec, ...] = ()
+
+    def swc_for(self, plugin_name: str) -> Optional[str]:
+        for plugin, swc in self.placements:
+            if plugin == plugin_name:
+                return swc
+        return None
+
+
+@dataclass
+class App:
+    """An application: plug-ins plus deployment descriptors."""
+
+    name: str
+    version: str
+    plugins: dict[str, PluginDescriptor]
+    sw_confs: list[SwConf] = field(default_factory=list)
+    dependencies: tuple[str, ...] = ()  # required APP names
+    conflicts: tuple[str, ...] = ()     # conflicting APP names
+
+    def conf_for_model(self, model: str) -> Optional[SwConf]:
+        for conf in self.sw_confs:
+            if conf.model == model:
+                return conf
+        return None
+
+    def total_binary_size(self) -> int:
+        return sum(len(p.binary) for p in self.plugins.values())
+
+
+__all__ = [
+    "User",
+    "VirtualPortDesc",
+    "PluginSwcDesc",
+    "EcuHw",
+    "HwConf",
+    "SystemSwConf",
+    "InstallStatus",
+    "InstalledPlugin",
+    "InstalledApp",
+    "VehicleConf",
+    "Vehicle",
+    "PluginDescriptor",
+    "ConnectionKind",
+    "ConnectionSpec",
+    "ExternalSpec",
+    "SwConf",
+    "App",
+]

@@ -1,0 +1,79 @@
+"""The Pusher module: the server's channel to vehicle ECMs.
+
+The pusher listens on the server's pre-defined address; each vehicle's
+ECM dials in at start-up (identified by its VIN as client name).  The
+pusher sends management messages downstream and hands every upstream
+message (acks) to a callback installed by the web services.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from repro.errors import ServerError
+from repro.network.sockets import Endpoint, NetworkFabric
+
+
+class Pusher:
+    """Server-side connection registry and message pump."""
+
+    def __init__(
+        self,
+        fabric: NetworkFabric,
+        address: str,
+    ) -> None:
+        self.address = address
+        self._connections: dict[str, Endpoint] = {}
+        self._outboxes: dict[str, Deque[bytes]] = {}
+        self._on_upstream: Optional[Callable[[str, bytes], None]] = None
+        self.pushed = 0
+        self.received = 0
+        fabric.listen(address, self._on_connect)
+
+    def on_upstream(self, callback: Callable[[str, bytes], None]) -> None:
+        """Install the handler for messages arriving from vehicles."""
+        self._on_upstream = callback
+
+    def _on_connect(self, endpoint: Endpoint, client_name: str) -> None:
+        self._connections[client_name] = endpoint
+        endpoint.on_receive(
+            lambda raw, vin=client_name: self._upstream(vin, raw)
+        )
+        # Flush anything queued while the vehicle was offline.
+        outbox = self._outboxes.pop(client_name, None)
+        if outbox:
+            while outbox:
+                self._send_now(client_name, outbox.popleft())
+
+    def _upstream(self, vin: str, raw: bytes) -> None:
+        self.received += 1
+        if self._on_upstream is not None:
+            self._on_upstream(vin, raw)
+
+    def is_connected(self, vin: str) -> bool:
+        return vin in self._connections
+
+    def connected_vins(self) -> list[str]:
+        return list(self._connections)
+
+    def push(self, vin: str, raw: bytes) -> None:
+        """Send bytes to a vehicle, queueing while it is offline."""
+        if vin in self._connections:
+            self._send_now(vin, raw)
+        else:
+            self._outboxes.setdefault(vin, deque()).append(raw)
+
+    def _send_now(self, vin: str, raw: bytes) -> None:
+        endpoint = self._connections[vin]
+        if endpoint.closed:
+            raise ServerError(f"connection to {vin} is closed")
+        endpoint.send(raw, size=len(raw))
+        self.pushed += 1
+
+    def pending_for(self, vin: str) -> int:
+        """Messages queued for an offline vehicle."""
+        return len(self._outboxes.get(vin, ()))
+
+
+__all__ = ["Pusher"]

@@ -1,0 +1,39 @@
+"""The trusted server: database + web services + pusher, assembled.
+
+One :class:`TrustedServer` listens at a pre-defined address on the
+wide-area network fabric; vehicles' ECMs dial in, users operate through
+the :attr:`web` facade (the paper's web portal sits above this API).
+"""
+
+from __future__ import annotations
+
+from repro.network.sockets import NetworkFabric
+from repro.server.database import Database
+from repro.server.pusher import Pusher
+from repro.server.webservices import WebServices
+
+#: Default pre-defined server address baked into ECM static config.
+DEFAULT_ADDRESS = "trusted-server.oem.example:7000"
+
+
+class TrustedServer:
+    """The off-board management server of the dynamic component model."""
+
+    def __init__(
+        self,
+        fabric: NetworkFabric,
+        address: str = DEFAULT_ADDRESS,
+    ) -> None:
+        self.address = address
+        self.db = Database()
+        self.pusher = Pusher(fabric, address)
+        self.web = WebServices(self.db, self.pusher)
+
+    def __repr__(self) -> str:
+        return (
+            f"<TrustedServer {self.address} users={len(self.db.users)} "
+            f"vehicles={len(self.db.vehicles)} apps={len(self.db.apps)}>"
+        )
+
+
+__all__ = ["TrustedServer", "DEFAULT_ADDRESS"]

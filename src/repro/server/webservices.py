@@ -1,0 +1,360 @@
+"""The Web Services module: the server's user-facing operations.
+
+Implements the three operation groups of paper Sec. 3.2.2 — user setup,
+uploads, and plug-in (re)deployment — on top of the database, the
+compatibility checker, the context generator, and the pusher.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core import messages as msg
+from repro.errors import ServerError, UnknownEntityError
+from repro.server.compatibility import CompatibilityReport, check_compatibility
+from repro.server.contextgen import generate_packages
+from repro.server.database import Database
+from repro.server.models import (
+    App,
+    HwConf,
+    InstallStatus,
+    InstalledApp,
+    InstalledPlugin,
+    SystemSwConf,
+    User,
+    Vehicle,
+    VehicleConf,
+)
+from repro.server.pusher import Pusher
+
+
+@dataclass
+class OperationResult:
+    """Outcome of a deploy/uninstall/restore request."""
+
+    ok: bool
+    reasons: list[str] = field(default_factory=list)
+    report: Optional[CompatibilityReport] = None
+    pushed_messages: int = 0
+
+
+@dataclass
+class _PluginRecord(InstalledPlugin):
+    """Installed-plugin record extended with the resend package."""
+
+    package: bytes = b""
+    footprint: int = 0
+
+
+class WebServices:
+    """The server's operation facade."""
+
+    def __init__(self, database: Database, pusher: Pusher) -> None:
+        self.db = database
+        self.pusher = pusher
+        self.pusher.on_upstream(self.on_vehicle_message)
+        self.deploys = 0
+        self.rejected_deploys = 0
+        self.acks_processed = 0
+        # (vin, app_name) -> user_id: update waiting for uninstall acks.
+        self._pending_updates: dict[tuple[str, str], str] = {}
+
+    # -- user setup ------------------------------------------------------------
+
+    def create_user(self, user_id: str, name: str) -> User:
+        """Register a portal user account."""
+        return self.db.add_user(User(user_id, name))
+
+    def register_vehicle(
+        self,
+        vin: str,
+        model: str,
+        hw: HwConf,
+        system_sw: SystemSwConf,
+    ) -> Vehicle:
+        """OEM upload: a vehicle with its HW conf and exposed API."""
+        return self.db.add_vehicle(
+            Vehicle(vin, model, VehicleConf(hw, system_sw))
+        )
+
+    def bind_vehicle(self, user_id: str, vin: str) -> None:
+        """Associate a vehicle with a user account."""
+        self.db.bind_vehicle(user_id, vin)
+
+    # -- uploads -------------------------------------------------------------------
+
+    def upload_app(self, app: App) -> App:
+        """Developer upload: binaries plus deployment descriptors."""
+        return self.db.add_app(app)
+
+    def upload_app_version(self, app: App) -> App:
+        """Developer upload of a NEW VERSION of an existing APP."""
+        return self.db.replace_app(app)
+
+    # -- deployment -------------------------------------------------------------------
+
+    def deploy(self, user_id: str, vin: str, app_name: str) -> OperationResult:
+        """Install an APP on a vehicle (the paper's install operation)."""
+        vehicle = self._authorized_vehicle(user_id, vin)
+        app = self.db.app(app_name)
+        if app_name in vehicle.conf.installed:
+            return OperationResult(
+                False, [f"APP {app_name} is already installed on {vin}"]
+            )
+        report = check_compatibility(app, vehicle)
+        self._check_reverse_conflicts(app, vehicle, report)
+        self._check_memory_budget(app, vehicle, report)
+        if not report.ok:
+            self.rejected_deploys += 1
+            return OperationResult(False, report.reasons, report)
+        assert report.sw_conf is not None
+        packages = generate_packages(app, report.sw_conf, vehicle)
+        installed = InstalledApp(app.name, app.version, InstallStatus.PENDING)
+        for package in packages:
+            raw = package.message.encode()
+            installed.plugins.append(
+                _PluginRecord(
+                    plugin_name=package.message.plugin_name,
+                    swc_name=package.message.target_swc,
+                    ecu_name=package.message.target_ecu,
+                    port_ids=package.port_ids,
+                    package=raw,
+                    footprint=len(package.message.binary),
+                )
+            )
+            self.pusher.push(vin, raw)
+        vehicle.conf.installed[app.name] = installed
+        self.deploys += 1
+        return OperationResult(
+            True, [], report, pushed_messages=len(packages)
+        )
+
+    def uninstall(self, user_id: str, vin: str, app_name: str) -> OperationResult:
+        """Remove an APP, refusing while dependents remain installed."""
+        vehicle = self._authorized_vehicle(user_id, vin)
+        installed = vehicle.conf.installed.get(app_name)
+        if installed is None:
+            return OperationResult(
+                False, [f"APP {app_name} is not installed on {vin}"]
+            )
+        dependents = self.db.dependents_of(vin, app_name)
+        if dependents:
+            # Paper: "the user is notified about the need to also
+            # uninstall the dependent plug-ins".
+            return OperationResult(
+                False,
+                [
+                    f"APP {app_name} is required by installed APP(s) "
+                    f"{', '.join(sorted(dependents))}; uninstall them first"
+                ],
+            )
+        installed.status = InstallStatus.REMOVING
+        pushed = 0
+        for record in installed.plugins:
+            record.acked = False
+            raw = msg.UninstallMessage(
+                record.plugin_name, record.ecu_name, record.swc_name
+            ).encode()
+            self.pusher.push(vin, raw)
+            pushed += 1
+        return OperationResult(True, [], pushed_messages=pushed)
+
+    def update(self, user_id: str, vin: str, app_name: str) -> OperationResult:
+        """Update an installed APP to the latest uploaded version.
+
+        The paper's pragmatic model (Sec. 5): the plug-ins are stopped
+        and removed, then the new version is installed fresh — no state
+        transfer.  The re-deployment triggers automatically once the
+        vehicle has acknowledged every uninstall.
+        """
+        vehicle = self._authorized_vehicle(user_id, vin)
+        installed = vehicle.conf.installed.get(app_name)
+        if installed is None:
+            return OperationResult(
+                False, [f"APP {app_name} is not installed on {vin}"]
+            )
+        app = self.db.app(app_name)
+        if app.version == installed.version:
+            return OperationResult(
+                False,
+                [
+                    f"APP {app_name} is already at version "
+                    f"{installed.version}; upload a new version first"
+                ],
+            )
+        result = self.uninstall(user_id, vin, app_name)
+        if not result.ok:
+            return result
+        self._pending_updates[(vin, app_name)] = user_id
+        return OperationResult(True, [], pushed_messages=result.pushed_messages)
+
+    def restore(self, vin: str, ecu_name: str) -> OperationResult:
+        """Re-deploy the plug-ins of a physically replaced ECU."""
+        vehicle = self.db.vehicle(vin)
+        pushed = 0
+        for installed in vehicle.conf.installed.values():
+            for record in installed.plugins:
+                if record.ecu_name != ecu_name:
+                    continue
+                if not isinstance(record, _PluginRecord) or not record.package:
+                    raise ServerError(
+                        f"no stored package for plug-in {record.plugin_name}"
+                    )
+                record.acked = False
+                installed.status = InstallStatus.PENDING
+                self.pusher.push(vin, record.package)
+                pushed += 1
+        if pushed == 0:
+            return OperationResult(
+                False, [f"no plug-ins recorded on ECU {ecu_name} of {vin}"]
+            )
+        return OperationResult(True, [], pushed_messages=pushed)
+
+    def reconcile(self, vin: str) -> OperationResult:
+        """Re-push plug-ins that the vehicle's health reports lack.
+
+        Extension of the paper's restore operation: instead of the
+        workshop naming the replaced ECU, the server compares its
+        InstalledAPP records against the latest diagnostic reports and
+        re-deploys whatever is missing (e.g. after an ECU lost its RAM
+        state).  SW-Cs without a health report are left alone — absence
+        of telemetry is not evidence of absence.
+        """
+        vehicle = self.db.vehicle(vin)
+        pushed = 0
+        for installed in vehicle.conf.installed.values():
+            if installed.status is InstallStatus.REMOVING:
+                continue
+            for record in installed.plugins:
+                report = vehicle.health.get(record.swc_name)
+                if report is None:
+                    continue
+                present = {
+                    h.plugin_name
+                    for h in report.plugins  # type: ignore[attr-defined]
+                }
+                if record.plugin_name in present:
+                    continue
+                if not isinstance(record, _PluginRecord) or not record.package:
+                    continue
+                record.acked = False
+                installed.status = InstallStatus.PENDING
+                self.pusher.push(vin, record.package)
+                pushed += 1
+        if pushed == 0:
+            return OperationResult(True, ["nothing to reconcile"])
+        return OperationResult(True, [], pushed_messages=pushed)
+
+    # -- ack processing -----------------------------------------------------------------
+
+    def on_vehicle_message(self, vin: str, raw: bytes) -> None:
+        """Handle one upstream message (ack/diag) from a vehicle's ECM."""
+        message = msg.decode(raw)
+        if isinstance(message, msg.DiagMessage):
+            self.db.vehicle(vin).health[message.source_swc] = message
+            return
+        if not isinstance(message, msg.AckMessage):
+            return
+        self.acks_processed += 1
+        vehicle = self.db.vehicle(vin)
+        for installed in list(vehicle.conf.installed.values()):
+            record = installed.plugin(message.plugin_name)
+            if record is None or record.swc_name != message.target_swc:
+                continue
+            self._apply_ack(vehicle, installed, record, message)
+            return
+
+    def _apply_ack(
+        self,
+        vehicle: Vehicle,
+        installed: InstalledApp,
+        record: InstalledPlugin,
+        message: msg.AckMessage,
+    ) -> None:
+        if message.op is msg.MessageType.INSTALL:
+            if message.ok:
+                record.acked = True
+                if installed.all_acked():
+                    installed.status = InstallStatus.ACTIVE
+            else:
+                installed.status = InstallStatus.FAILED
+        elif message.op is msg.MessageType.UNINSTALL:
+            if message.ok:
+                record.acked = True
+                if installed.all_acked():
+                    del vehicle.conf.installed[installed.app_name]
+                    # A pending update re-deploys the new version now.
+                    user_id = self._pending_updates.pop(
+                        (vehicle.vin, installed.app_name), None
+                    )
+                    if user_id is not None:
+                        self.deploy(user_id, vehicle.vin, installed.app_name)
+            else:
+                installed.status = InstallStatus.FAILED
+
+    # -- queries ------------------------------------------------------------------------
+
+    def installation_status(
+        self, vin: str, app_name: str
+    ) -> Optional[InstallStatus]:
+        installed = self.db.installation(vin, app_name)
+        return installed.status if installed else None
+
+    def vehicle_health(self, vin: str) -> dict[str, msg.DiagMessage]:
+        """Latest diagnostic report per plug-in SW-C of ``vin``."""
+        return dict(self.db.vehicle(vin).health)
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _authorized_vehicle(self, user_id: str, vin: str) -> Vehicle:
+        vehicle = self.db.vehicle(vin)
+        user = self.db.user(user_id)
+        if vehicle.owner != user.user_id:
+            raise UnknownEntityError(
+                f"vehicle {vin} is not bound to user {user_id}"
+            )
+        return vehicle
+
+    def _check_reverse_conflicts(
+        self, app: App, vehicle: Vehicle, report: CompatibilityReport
+    ) -> None:
+        for name in vehicle.conf.installed:
+            other = self.db.apps.get(name)
+            if other is not None and app.name in other.conflicts:
+                report.add_failure(
+                    f"installed APP {name} declares a conflict with "
+                    f"{app.name}"
+                )
+
+    def _check_memory_budget(
+        self, app: App, vehicle: Vehicle, report: CompatibilityReport
+    ) -> None:
+        conf = app.conf_for_model(vehicle.model)
+        if conf is None:
+            return
+        per_swc: dict[str, int] = {}
+        for plugin_name, descriptor in app.plugins.items():
+            swc_name = conf.swc_for(plugin_name)
+            if swc_name is None:
+                continue
+            per_swc[swc_name] = per_swc.get(swc_name, 0) + len(descriptor.binary)
+        for swc_name, needed in per_swc.items():
+            swc = vehicle.conf.system_sw.swc(swc_name)
+            if swc is None:
+                continue
+            used = 0
+            for installed in vehicle.conf.installed.values():
+                for record in installed.plugins:
+                    if record.swc_name == swc_name and isinstance(
+                        record, _PluginRecord
+                    ):
+                        used += record.footprint
+            if used + needed > swc.vm_memory_bytes:
+                report.add_failure(
+                    f"SW-C {swc_name} memory budget exceeded: "
+                    f"{used} used + {needed} needed > {swc.vm_memory_bytes}"
+                )
+
+
+__all__ = ["OperationResult", "WebServices"]

@@ -1,0 +1,278 @@
+"""Deterministic discrete-event simulation kernel.
+
+All simulated subsystems (the OSEK scheduler, the CAN bus, the network
+channels, the trusted server's pusher) share one :class:`Simulator`.  Time
+is an integer number of microseconds, which keeps event ordering exact and
+runs reproducible across platforms.
+
+Events scheduled for the same instant are delivered in scheduling order
+(FIFO), which gives the whole stack deterministic behaviour without
+relying on floating point tie-breaking.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+from repro.errors import SimTimeError
+
+#: One millisecond expressed in kernel time units (microseconds).
+MS = 1000
+#: One second expressed in kernel time units (microseconds).
+SECOND = 1_000_000
+
+
+@dataclass(frozen=True)
+class EventHandle:
+    """Opaque handle returned by :meth:`Simulator.schedule`.
+
+    Holding on to the handle allows the caller to cancel the event before
+    it fires.  Handles compare by identity of their sequence number.
+    """
+
+    seq: int
+    time: int
+    label: str
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+
+class Simulator:
+    """Priority-queue based discrete-event simulator.
+
+    The simulator is intentionally small: ``schedule``/``cancel``, a
+    handful of run modes, and hooks for tracing.  Higher layers build
+    processes, timers, and protocols on top of these primitives.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._queue: list[_QueueEntry] = []
+        self._seq = itertools.count()
+        self._handles: dict[int, _QueueEntry] = {}
+        self._running = False
+        self.events_executed = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in microseconds."""
+        return self._now
+
+    def schedule(
+        self,
+        delay: int,
+        callback: Callable[[], None],
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` microseconds from now.
+
+        ``delay`` must be a non-negative integer; zero-delay events run
+        after all events already scheduled for the current instant.
+        """
+        if not isinstance(delay, int):
+            raise SimTimeError(f"delay must be an int (got {delay!r})")
+        if delay < 0:
+            raise SimTimeError(f"cannot schedule into the past (delay={delay})")
+        seq = next(self._seq)
+        entry = _QueueEntry(self._now + delay, seq, callback, label)
+        heapq.heappush(self._queue, entry)
+        self._handles[seq] = entry
+        return EventHandle(seq=seq, time=entry.time, label=label)
+
+    def schedule_at(
+        self,
+        time: int,
+        callback: Callable[[], None],
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` at absolute simulated ``time``."""
+        if not isinstance(time, int):
+            raise SimTimeError(f"time must be an int (got {time!r})")
+        if time < self._now:
+            raise SimTimeError(
+                f"cannot schedule at {time} (now is {self._now})"
+            )
+        return self.schedule(time - self._now, callback, label)
+
+    def cancel(self, handle: EventHandle) -> bool:
+        """Cancel a scheduled event.  Returns True if it had not yet run."""
+        entry = self._handles.get(handle.seq)
+        if entry is None or entry.cancelled:
+            return False
+        entry.cancelled = True
+        del self._handles[handle.seq]
+        return True
+
+    def is_pending(self, handle: EventHandle) -> bool:
+        """Whether the event behind ``handle`` is still queued."""
+        entry = self._handles.get(handle.seq)
+        return entry is not None and not entry.cancelled
+
+    def pending_count(self) -> int:
+        """Number of live (non-cancelled) events in the queue."""
+        return len(self._handles)
+
+    def _pop_next(self) -> Optional[_QueueEntry]:
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            if entry.cancelled:
+                continue
+            self._handles.pop(entry.seq, None)
+            return entry
+        return None
+
+    def step(self) -> bool:
+        """Execute the next event.  Returns False when the queue is empty."""
+        entry = self._pop_next()
+        if entry is None:
+            return False
+        self._now = entry.time
+        self.events_executed += 1
+        entry.callback()
+        return True
+
+    def run(self, max_events: int = 10_000_000) -> int:
+        """Run until the event queue drains.  Returns events executed.
+
+        ``max_events`` bounds runaway simulations (e.g. a periodic alarm
+        with no stop condition); exceeding it raises
+        :class:`SimulationError` via :class:`SimTimeError`'s parent.
+        """
+        executed = 0
+        while executed < max_events:
+            if not self.step():
+                return executed
+            executed += 1
+        raise SimTimeError(
+            f"simulation did not drain within {max_events} events"
+        )
+
+    def run_until(self, time: int, max_events: int = 10_000_000) -> int:
+        """Run events with timestamp <= ``time``; advance clock to ``time``.
+
+        Events scheduled exactly at ``time`` are executed.  Returns the
+        number of events executed.
+        """
+        if time < self._now:
+            raise SimTimeError(
+                f"run_until({time}) but now is already {self._now}"
+            )
+        executed = 0
+        while executed < max_events:
+            if not self._queue:
+                break
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > time:
+                break
+            self.step()
+            executed += 1
+        else:
+            raise SimTimeError(
+                f"run_until did not converge within {max_events} events"
+            )
+        self._now = max(self._now, time)
+        return executed
+
+    def run_for(self, duration: int, max_events: int = 10_000_000) -> int:
+        """Run for ``duration`` microseconds of simulated time."""
+        return self.run_until(self._now + duration, max_events=max_events)
+
+
+class Process:
+    """A repeating activity driven by the simulator.
+
+    Subclasses (or users providing ``body``) get a periodic callback; the
+    process can be stopped and restarted.  This is the building block for
+    periodic OS alarms, network pollers, and traffic generators.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: int,
+        body: Optional[Callable[[], None]] = None,
+        offset: int = 0,
+        label: str = "",
+    ) -> None:
+        if period <= 0:
+            raise SimTimeError(f"process period must be positive (got {period})")
+        if offset < 0:
+            raise SimTimeError(f"process offset must be >= 0 (got {offset})")
+        self.sim = sim
+        self.period = period
+        self.offset = offset
+        self.label = label or type(self).__name__
+        self._body = body
+        self._handle: Optional[EventHandle] = None
+        self.activations = 0
+        self.running = False
+
+    def body(self) -> None:
+        """Action executed each period; override or pass ``body`` in."""
+        if self._body is not None:
+            self._body()
+
+    def start(self) -> None:
+        """Begin periodic activation ``offset`` microseconds from now."""
+        if self.running:
+            return
+        self.running = True
+        self._handle = self.sim.schedule(self.offset, self._tick, self.label)
+
+    def stop(self) -> None:
+        """Stop the process; a queued activation is cancelled."""
+        self.running = False
+        if self._handle is not None:
+            self.sim.cancel(self._handle)
+            self._handle = None
+
+    def _tick(self) -> None:
+        if not self.running:
+            return
+        self.activations += 1
+        self.body()
+        if self.running:
+            self._handle = self.sim.schedule(self.period, self._tick, self.label)
+
+
+def drain(sim: Simulator, chunks: Iterable[int]) -> None:
+    """Run the simulator through each duration in ``chunks`` in order.
+
+    Convenience for tests that want to interleave assertions with
+    simulated time advancing.
+    """
+    for chunk in chunks:
+        sim.run_for(chunk)
+
+
+def format_time(us: int) -> str:
+    """Human-readable rendering of a kernel timestamp."""
+    if us >= SECOND:
+        return f"{us / SECOND:.3f}s"
+    if us >= MS:
+        return f"{us / MS:.3f}ms"
+    return f"{us}us"
+
+
+__all__ = [
+    "MS",
+    "SECOND",
+    "EventHandle",
+    "Simulator",
+    "Process",
+    "drain",
+    "format_time",
+]

@@ -1,0 +1,31 @@
+"""Plug-in virtual machine: ISA, assembler, binary format, interpreter."""
+
+from repro.vm.assembler import Assembled, assemble
+from repro.vm.disasm import DecodedInstruction, decode_all, disassemble
+from repro.vm.loader import (
+    CONTAINER_VERSION,
+    MAGIC,
+    PluginBinary,
+    compile_plugin,
+    pack,
+    unpack,
+)
+from repro.vm.machine import ActivationResult, NullBridge, PortBridge, Vm
+
+__all__ = [
+    "Assembled",
+    "assemble",
+    "DecodedInstruction",
+    "decode_all",
+    "disassemble",
+    "CONTAINER_VERSION",
+    "MAGIC",
+    "PluginBinary",
+    "compile_plugin",
+    "pack",
+    "unpack",
+    "ActivationResult",
+    "NullBridge",
+    "PortBridge",
+    "Vm",
+]

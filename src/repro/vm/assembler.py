@@ -1,0 +1,154 @@
+"""Assembler: plug-in source text to bytecode.
+
+Source format, one instruction per line::
+
+    ; anything after a semicolon is a comment
+    .entry on_message      ; the next instruction is entry 'on_message'
+    loop:                  ; labels end with ':'
+        RDPORT 0
+        PUSH 10
+        ADD
+        WRPORT 1
+        JMP loop
+
+Numeric operands accept decimal and ``0x`` hex; jump/call operands accept
+labels.  ``.entry`` directives name the exported entry points that the
+PIRTE invokes (``on_init``, ``on_message``, ``on_timer`` by convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AssemblerError
+from repro.vm.isa import BY_MNEMONIC, INT32_MAX, INT32_MIN, OpSpec
+
+
+@dataclass
+class Assembled:
+    """Output of the assembler: raw code plus the entry table."""
+
+    code: bytes
+    entries: dict[str, int]
+    instruction_count: int
+
+
+def _parse_int(token: str, line_no: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(
+            f"line {line_no}: invalid numeric operand {token!r}"
+        ) from None
+
+
+def _encode_operand(
+    spec: OpSpec, token: str, labels: dict[str, int], line_no: int
+) -> bytes:
+    if spec.operand == "i32":
+        value = _parse_int(token, line_no)
+        if not INT32_MIN <= value <= INT32_MAX:
+            raise AssemblerError(
+                f"line {line_no}: immediate {value} outside 32-bit range"
+            )
+        return value.to_bytes(4, "little", signed=True)
+    if spec.operand == "u16":
+        if token in labels:
+            value = labels[token]
+        else:
+            value = _parse_int(token, line_no)
+        if not 0 <= value <= 0xFFFF:
+            raise AssemblerError(
+                f"line {line_no}: operand {value} outside u16 range"
+            )
+        return value.to_bytes(2, "little")
+    if spec.operand == "u8":
+        value = _parse_int(token, line_no)
+        if not 0 <= value <= 0xFF:
+            raise AssemblerError(
+                f"line {line_no}: operand {value} outside u8 range"
+            )
+        return value.to_bytes(1, "little")
+    raise AssemblerError(f"line {line_no}: internal operand kind {spec.operand}")
+
+
+def _tokenize(source: str) -> list[tuple[int, str]]:
+    """Strip comments/blank lines; return (line_no, text) pairs."""
+    out = []
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        text = raw.split(";", 1)[0].strip()
+        if text:
+            out.append((line_no, text))
+    return out
+
+
+def assemble(source: str) -> Assembled:
+    """Two-pass assembly of ``source`` into bytecode."""
+    lines = _tokenize(source)
+
+    # Pass 1: compute label and entry offsets.
+    labels: dict[str, int] = {}
+    entries: dict[str, int] = {}
+    pending_entries: list[str] = []
+    offset = 0
+    for line_no, text in lines:
+        if text.startswith(".entry"):
+            parts = text.split()
+            if len(parts) != 2:
+                raise AssemblerError(f"line {line_no}: .entry needs one name")
+            if parts[1] in entries or parts[1] in pending_entries:
+                raise AssemblerError(
+                    f"line {line_no}: duplicate entry {parts[1]!r}"
+                )
+            pending_entries.append(parts[1])
+            continue
+        if text.endswith(":"):
+            label = text[:-1].strip()
+            if not label or " " in label:
+                raise AssemblerError(f"line {line_no}: bad label {text!r}")
+            if label in labels:
+                raise AssemblerError(f"line {line_no}: duplicate label {label!r}")
+            labels[label] = offset
+            continue
+        mnemonic = text.split()[0].upper()
+        spec = BY_MNEMONIC.get(mnemonic)
+        if spec is None:
+            raise AssemblerError(f"line {line_no}: unknown mnemonic {mnemonic!r}")
+        for entry in pending_entries:
+            entries[entry] = offset
+        pending_entries.clear()
+        offset += spec.size
+
+    if pending_entries:
+        raise AssemblerError(
+            f".entry {pending_entries[0]!r} not followed by an instruction"
+        )
+
+    # Pass 2: encode.
+    code = bytearray()
+    count = 0
+    for line_no, text in lines:
+        if text.startswith(".entry") or text.endswith(":"):
+            continue
+        parts = text.split()
+        spec = BY_MNEMONIC[parts[0].upper()]
+        code.append(spec.opcode)
+        if spec.operand is None:
+            if len(parts) != 1:
+                raise AssemblerError(
+                    f"line {line_no}: {spec.mnemonic} takes no operand"
+                )
+        else:
+            if len(parts) != 2:
+                raise AssemblerError(
+                    f"line {line_no}: {spec.mnemonic} needs one operand"
+                )
+            code.extend(_encode_operand(spec, parts[1], labels, line_no))
+        count += 1
+
+    if not entries:
+        raise AssemblerError("program defines no .entry points")
+    return Assembled(bytes(code), entries, count)
+
+
+__all__ = ["Assembled", "assemble"]

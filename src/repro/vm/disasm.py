@@ -1,0 +1,80 @@
+"""Disassembler for plug-in bytecode.
+
+Turns binary containers back into readable listings — the debugging
+counterpart of the assembler, used by diagnostics tooling and tests
+(assemble -> pack -> unpack -> disassemble round-trips are part of the
+property suite).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import BinaryFormatError
+from repro.vm.isa import BY_OPCODE
+from repro.vm.loader import PluginBinary
+
+
+@dataclass(frozen=True)
+class DecodedInstruction:
+    """One decoded instruction at a code offset."""
+
+    offset: int
+    mnemonic: str
+    operand: int | None
+
+    def render(self) -> str:
+        if self.operand is None:
+            return self.mnemonic
+        return f"{self.mnemonic} {self.operand}"
+
+
+def decode_all(code: bytes) -> list[DecodedInstruction]:
+    """Linearly decode a code section; raises on malformed streams."""
+    out: list[DecodedInstruction] = []
+    pc = 0
+    while pc < len(code):
+        spec = BY_OPCODE.get(code[pc])
+        if spec is None:
+            raise BinaryFormatError(
+                f"illegal opcode {code[pc]:#04x} at offset {pc}"
+            )
+        if pc + spec.size > len(code):
+            raise BinaryFormatError(
+                f"truncated {spec.mnemonic} at offset {pc}"
+            )
+        operand: int | None = None
+        if spec.operand == "i32":
+            operand = struct.unpack_from("<i", code, pc + 1)[0]
+        elif spec.operand == "u16":
+            operand = struct.unpack_from("<H", code, pc + 1)[0]
+        elif spec.operand == "u8":
+            operand = code[pc + 1]
+        out.append(DecodedInstruction(pc, spec.mnemonic, operand))
+        pc += spec.size
+    return out
+
+
+def disassemble(binary: PluginBinary) -> str:
+    """Human-readable listing with entry-point labels."""
+    entries_by_offset: dict[int, list[str]] = {}
+    for name, offset in binary.entries.items():
+        entries_by_offset.setdefault(offset, []).append(name)
+    lines = [
+        f"; plug-in binary: {binary.size} bytes, "
+        f"mem_hint={binary.mem_hint} cells"
+    ]
+    for instruction in decode_all(binary.code):
+        for entry in sorted(entries_by_offset.get(instruction.offset, [])):
+            lines.append(f".entry {entry}")
+        lines.append(f"    {instruction.render()}")
+    return "\n".join(lines) + "\n"
+
+
+def reassemblable_source(binary: PluginBinary) -> str:
+    """A listing the assembler accepts again (jump targets as numbers)."""
+    return disassemble(binary)
+
+
+__all__ = ["DecodedInstruction", "decode_all", "disassemble"]

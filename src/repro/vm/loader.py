@@ -1,0 +1,138 @@
+"""Plug-in binary container format.
+
+Plug-ins travel through the whole install pipeline (server, cellular
+link, type I ports, TP segmentation) as *real byte strings* in this
+container format::
+
+    magic      4 bytes  b"PIB1"
+    version    u8       container version (currently 1)
+    flags      u8       reserved, must be 0
+    mem_hint   u16      requested VM memory cells
+    n_entries  u8
+    entries    n times: name_len u8, name ascii, offset u16
+    code_len   u32
+    code       code_len bytes
+    crc32      u32      over everything before it
+
+The CRC is verified by the vehicle-side installer before a plug-in is
+accepted, modelling the integrity check a production system would do on
+downloaded binaries.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import BinaryFormatError
+from repro.vm.assembler import Assembled, assemble
+
+MAGIC = b"PIB1"
+CONTAINER_VERSION = 1
+
+
+@dataclass(frozen=True)
+class PluginBinary:
+    """A parsed, integrity-checked plug-in binary."""
+
+    code: bytes
+    entries: dict[str, int]
+    mem_hint: int
+    raw: bytes
+
+    @property
+    def size(self) -> int:
+        """Container size in bytes (what install pipelines ship)."""
+        return len(self.raw)
+
+    def has_entry(self, name: str) -> bool:
+        return name in self.entries
+
+    def entry_offset(self, name: str) -> int:
+        try:
+            return self.entries[name]
+        except KeyError:
+            raise BinaryFormatError(
+                f"binary has no entry point {name!r}"
+            ) from None
+
+
+def pack(assembled: Assembled, mem_hint: int = 64) -> bytes:
+    """Serialize assembled code into the container format."""
+    if not 0 <= mem_hint <= 0xFFFF:
+        raise BinaryFormatError(f"mem_hint {mem_hint} outside u16 range")
+    if len(assembled.entries) > 0xFF:
+        raise BinaryFormatError("too many entry points")
+    body = bytearray()
+    body += MAGIC
+    body += struct.pack("<BBH", CONTAINER_VERSION, 0, mem_hint)
+    body += struct.pack("<B", len(assembled.entries))
+    for name, offset in sorted(assembled.entries.items()):
+        encoded = name.encode("ascii")
+        if not encoded or len(encoded) > 0xFF:
+            raise BinaryFormatError(f"bad entry name {name!r}")
+        body += struct.pack("<B", len(encoded))
+        body += encoded
+        body += struct.pack("<H", offset)
+    body += struct.pack("<I", len(assembled.code))
+    body += assembled.code
+    body += struct.pack("<I", zlib.crc32(bytes(body)))
+    return bytes(body)
+
+
+def unpack(raw: bytes) -> PluginBinary:
+    """Parse and verify a container; raises on any malformation."""
+    if len(raw) < 13:
+        raise BinaryFormatError(f"container of {len(raw)} bytes is too short")
+    stored_crc = struct.unpack_from("<I", raw, len(raw) - 4)[0]
+    if zlib.crc32(raw[:-4]) != stored_crc:
+        raise BinaryFormatError("CRC mismatch: binary corrupted in transit")
+    if raw[:4] != MAGIC:
+        raise BinaryFormatError(f"bad magic {raw[:4]!r}")
+    version, flags, mem_hint = struct.unpack_from("<BBH", raw, 4)
+    if version != CONTAINER_VERSION:
+        raise BinaryFormatError(f"unsupported container version {version}")
+    if flags != 0:
+        raise BinaryFormatError(f"reserved flags set: {flags:#x}")
+    offset = 8
+    (n_entries,) = struct.unpack_from("<B", raw, offset)
+    offset += 1
+    entries: dict[str, int] = {}
+    for __ in range(n_entries):
+        (name_len,) = struct.unpack_from("<B", raw, offset)
+        offset += 1
+        name = raw[offset : offset + name_len].decode("ascii")
+        offset += name_len
+        (entry_offset,) = struct.unpack_from("<H", raw, offset)
+        offset += 2
+        entries[name] = entry_offset
+    (code_len,) = struct.unpack_from("<I", raw, offset)
+    offset += 4
+    code = raw[offset : offset + code_len]
+    if len(code) != code_len:
+        raise BinaryFormatError("declared code length exceeds container")
+    offset += code_len
+    if offset + 4 != len(raw):
+        raise BinaryFormatError("trailing bytes after code section")
+    for name, entry_offset in entries.items():
+        if entry_offset >= code_len and code_len > 0:
+            raise BinaryFormatError(
+                f"entry {name!r} offset {entry_offset} outside code"
+            )
+    return PluginBinary(code=code, entries=entries, mem_hint=mem_hint, raw=raw)
+
+
+def compile_plugin(source: str, mem_hint: int = 64) -> PluginBinary:
+    """Assemble source and pack it, returning the parsed binary."""
+    return unpack(pack(assemble(source), mem_hint=mem_hint))
+
+
+__all__ = [
+    "MAGIC",
+    "CONTAINER_VERSION",
+    "PluginBinary",
+    "pack",
+    "unpack",
+    "compile_plugin",
+]

@@ -1,0 +1,17 @@
+"""Synthetic workload generators for the benchmark harness."""
+
+from repro.workloads.generators import (
+    SyntheticConfig,
+    make_synthetic_app,
+    make_vehicle_confs,
+    populate_server,
+    synth_model_name,
+)
+
+__all__ = [
+    "SyntheticConfig",
+    "make_synthetic_app",
+    "make_vehicle_confs",
+    "populate_server",
+    "synth_model_name",
+]

@@ -1,0 +1,95 @@
+"""Tests for COM periodic transmission mode."""
+
+import pytest
+
+from repro.autosar.bsw import ComStack, PduRouter, SignalConfig
+from repro.autosar.bsw.canif import CanInterface
+from repro.autosar.types import BYTES, UINT16
+from repro.can import CanBus, CanController
+from repro.errors import ComError
+from repro.sim import MS, Simulator
+
+
+def build_pair(sim):
+    bus = CanBus(sim)
+    stacks = []
+    for name in ("ecu1", "ecu2"):
+        controller = CanController(name)
+        bus.attach(controller)
+        canif = CanInterface(controller)
+        pdur = PduRouter(canif)
+        com = ComStack(pdur, name, sim=sim)
+        stacks.append((com, canif))
+    return bus, stacks
+
+
+class TestPeriodicConfig:
+    def test_negative_period_rejected(self):
+        with pytest.raises(ComError):
+            SignalConfig("s", 0, UINT16, 0, period_us=-1)
+
+    def test_periodic_tp_rejected(self):
+        with pytest.raises(ComError):
+            SignalConfig("s", 0, BYTES, 0, period_us=1000)
+
+    def test_periodic_needs_sim(self):
+        sim = Simulator()
+        bus = CanBus(sim)
+        controller = CanController("n")
+        bus.attach(controller)
+        com = ComStack(PduRouter(CanInterface(controller)))  # no sim
+        with pytest.raises(ComError):
+            com.configure_tx_signal(
+                SignalConfig("s", 0, UINT16, 0, period_us=1000)
+            )
+
+
+class TestPeriodicTransmission:
+    def _wire(self, sim, period_us):
+        bus, [(com1, canif1), (com2, canif2)] = build_pair(sim)
+        config = SignalConfig("speed", 0, UINT16, 0, period_us=period_us)
+        com1.configure_tx_signal(config)
+        canif1.configure_tx(0, 0x100)
+        com2.configure_rx_signal(
+            SignalConfig("speed", 0, UINT16, 0)  # receive side is plain
+        )
+        canif2.configure_rx(0x100, 0)
+        return com1, com2
+
+    def test_initial_value_transmitted_on_cycle(self):
+        sim = Simulator()
+        com1, com2 = self._wire(sim, period_us=10 * MS)
+        got = []
+        com2.subscribe(0, got.append)
+        sim.run_until(35 * MS)
+        assert got == [0, 0, 0]  # t = 10, 20, 30 ms
+
+    def test_write_updates_next_cycle(self):
+        sim = Simulator()
+        com1, com2 = self._wire(sim, period_us=10 * MS)
+        got = []
+        com2.subscribe(0, got.append)
+        sim.run_until(15 * MS)
+        com1.send_signal(0, 777)   # between cycles: no immediate tx
+        frames_before = len(got)
+        sim.run_until(18 * MS)
+        assert len(got) == frames_before  # nothing sent yet
+        sim.run_until(25 * MS)
+        assert got[-1] == 777
+
+    def test_write_does_not_double_transmit(self):
+        sim = Simulator()
+        com1, com2 = self._wire(sim, period_us=10 * MS)
+        got = []
+        com2.subscribe(0, got.append)
+        for k in range(5):
+            com1.send_signal(0, k)
+        sim.run_until(31 * MS)
+        assert len(got) == 3  # strictly one per cycle
+        assert got == [4, 4, 4]
+
+    def test_periodic_counter(self):
+        sim = Simulator()
+        com1, __ = self._wire(sim, period_us=5 * MS)
+        sim.run_until(26 * MS)
+        assert com1.periodic_transmissions == 5

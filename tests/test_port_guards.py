@@ -1,0 +1,121 @@
+"""Tests for fault protection on critical signals (paper Sec. 3.1.1)."""
+
+import pytest
+
+from repro.autosar import INT16, SystemDescription, build_system
+from repro.core import PluginSwcSpec, PortGuard, ServicePort, get_pirte
+from repro.core.plugin_swc import make_plugin_swc_type
+from repro.core.virtual_ports import VirtualPortKind, VirtualPortSpec
+from repro.errors import ConfigurationError, ContextError
+from repro.sim import MS, Tracer
+from tests.helpers import FORWARD_SOURCE, link_virtual, make_install
+
+
+class TestPortGuardUnit:
+    def test_range_enforced(self):
+        guard = PortGuard(min_value=0, max_value=100)
+        assert guard.check(50, now=0)
+        assert not guard.check(-1, now=1)
+        assert not guard.check(101, now=2)
+        assert guard.range_violations == 2
+
+    def test_rate_enforced(self):
+        guard = PortGuard(min_interval_us=1000)
+        assert guard.check(1, now=0)
+        assert not guard.check(2, now=500)
+        assert guard.check(3, now=1100)
+        assert guard.rate_violations == 1
+
+    def test_rejected_write_does_not_reset_rate_window(self):
+        guard = PortGuard(min_interval_us=1000)
+        assert guard.check(1, now=0)
+        assert not guard.check(2, now=900)
+        assert guard.check(3, now=1000)
+
+    def test_violations_total(self):
+        guard = PortGuard(min_value=0, min_interval_us=10)
+        guard.check(5, 0)
+        guard.check(-1, 1)
+        guard.check(5, 2)
+        assert guard.violations == 2
+
+    def test_guard_only_on_service_out(self):
+        with pytest.raises(ContextError):
+            VirtualPortSpec(
+                "V1", VirtualPortKind.SERVICE_IN, "p", "e",
+                guard=PortGuard(),
+            )
+
+    def test_service_port_direction_validated(self):
+        with pytest.raises(ConfigurationError):
+            ServicePort("V1", "p", "in", INT16, guard=PortGuard())
+
+
+def build_guarded_host(guard):
+    spec = PluginSwcSpec(
+        "GuardedHost",
+        services=[
+            ServicePort("VIN_", "svc_in", "in", INT16),
+            ServicePort("VOUT", "svc_out", "out", INT16, guard=guard),
+        ],
+    )
+    desc = SystemDescription("guarded")
+    desc.add_ecu("ecu1")
+    desc.add_component("host", make_plugin_swc_type(spec), "ecu1")
+    from benchmarks._scenarios import make_sink_type
+
+    desc.add_component("sink", make_sink_type(), "ecu1", priority=6)
+    desc.connect("host", "svc_out", "sink", "in")
+    system = build_system(desc, tracer=Tracer())
+    system.boot_all()
+    system.sim.run_for(5 * MS)
+    pirte = get_pirte(system.instance("host"))
+    message = make_install(
+        "fwd", "ecu1", "host",
+        ports=[("in", 0), ("out", 1)],
+        links=[link_virtual(0, "VIN_"), link_virtual(1, "VOUT")],
+        source=FORWARD_SOURCE,
+    )
+    assert pirte.install(message).ok
+    system.sim.run_for(5 * MS)
+    return system, pirte
+
+
+class TestGuardedRouting:
+    def test_out_of_range_write_blocked(self):
+        guard = PortGuard(min_value=0, max_value=100)
+        system, pirte = build_guarded_host(guard)
+        plugin = pirte.plugin("fwd")
+        pirte.plugin_write(plugin, 1, 9999)  # blocked
+        pirte.plugin_write(plugin, 1, 42)    # passes
+        system.sim.run_for(20 * MS)
+        got = [v for __, v in system.instance("sink").state.get("got", [])]
+        assert got == [42]
+        assert pirte.guard_rejections == 1
+        assert guard.range_violations == 1
+
+    def test_rate_limit_blocks_flooding(self):
+        guard = PortGuard(min_interval_us=50 * MS)
+        system, pirte = build_guarded_host(guard)
+        plugin = pirte.plugin("fwd")
+        for i in range(10):
+            pirte.plugin_write(plugin, 1, i)
+        system.sim.run_for(20 * MS)
+        got = [v for __, v in system.instance("sink").state.get("got", [])]
+        assert got == [0]  # only the first write within the window
+        assert guard.rate_violations == 9
+
+    def test_guard_rejections_traced(self):
+        guard = PortGuard(max_value=10)
+        system, pirte = build_guarded_host(guard)
+        plugin = pirte.plugin("fwd")
+        pirte.plugin_write(plugin, 1, 11)
+        tracer = system.tracer
+        assert tracer.count("pirte", "guard_rejected") == 1
+
+    def test_guard_visible_in_diagnostics_counters(self):
+        guard = PortGuard(max_value=10)
+        system, pirte = build_guarded_host(guard)
+        plugin = pirte.plugin("fwd")
+        pirte.plugin_write(plugin, 1, 99)
+        assert pirte.guard_rejections == 1

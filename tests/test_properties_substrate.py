@@ -1,0 +1,127 @@
+"""Property-based tests on substrate invariants: TP, CAN, memory, ports."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autosar.bsw.memory import MemoryPool
+from repro.autosar.bsw.tp import Reassembler, roundtrip, segment
+from repro.can import CanBus, CanController, CanFrame
+from repro.sim import Simulator
+from repro.core.context import Pic, PortInit
+from repro.errors import MemoryPoolError
+
+
+class TestTpProperties:
+    @given(st.binary(max_size=6000))
+    @settings(max_examples=80)
+    def test_roundtrip_any_payload(self, payload):
+        assert roundtrip(payload) == payload
+
+    @given(st.binary(max_size=3000))
+    @settings(max_examples=50)
+    def test_segments_fit_classical_can(self, payload):
+        assert all(1 <= len(s) <= 8 for s in segment(payload))
+
+    @given(st.binary(min_size=8, max_size=2000))
+    @settings(max_examples=50)
+    def test_segment_count_formula(self, payload):
+        segments = segment(payload)
+        # First frame carries 4 bytes, consecutive carry 7 each.
+        expected = 1 + -(-(len(payload) - 4) // 7)
+        assert len(segments) == expected
+
+    @given(st.lists(st.binary(min_size=8, max_size=200), max_size=6))
+    @settings(max_examples=40)
+    def test_back_to_back_messages_one_reassembler(self, payloads):
+        reassembler = Reassembler()
+        out = []
+        for payload in payloads:
+            for seg in segment(payload):
+                result = reassembler.feed(seg)
+                if result is not None:
+                    out.append(result)
+        assert out == payloads
+
+
+class TestCanProperties:
+    @given(st.lists(st.integers(0, 0x7FF), min_size=1, max_size=30))
+    @settings(max_examples=40)
+    def test_pending_frames_complete_in_priority_order(self, can_ids):
+        """Frames queued while the bus is busy complete lowest-id first."""
+        sim = Simulator()
+        bus = CanBus(sim)
+        sender = CanController("tx", tx_queue_depth=64)
+        sink = CanController("rx")
+        bus.attach(sender)
+        bus.attach(sink)
+        order = []
+        sink.subscribe_all(lambda f: order.append(f.can_id))
+        # First frame occupies the bus; the rest arbitrate behind it.
+        sender.transmit(CanFrame(0x7FF))
+        for can_id in can_ids:
+            sender.transmit(CanFrame(can_id))
+        sim.run()
+        assert order[0] == 0x7FF
+        assert order[1:] == sorted(can_ids)
+
+    @given(st.integers(0, 8))
+    def test_frame_bit_length_monotone(self, dlc):
+        frame = CanFrame(1, bytes(dlc))
+        if dlc > 0:
+            smaller = CanFrame(1, bytes(dlc - 1))
+            assert frame.bit_length() > smaller.bit_length()
+
+
+class TestMemoryPoolProperties:
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(0, 2000)),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=50)
+    def test_conservation_invariant(self, operations):
+        """used + free == capacity after any alloc/free sequence."""
+        pool = MemoryPool("p", block_size=64, block_count=32)
+        live = []
+        for is_alloc, size in operations:
+            if is_alloc:
+                try:
+                    live.append(pool.allocate(size))
+                except MemoryPoolError:
+                    pass
+            elif live:
+                pool.release(live.pop())
+            assert pool.used_blocks + pool.free_blocks == pool.block_count
+            assert pool.used_blocks == sum(a.blocks for a in live)
+        for allocation in live:
+            pool.release(allocation)
+        assert pool.free_blocks == pool.block_count
+
+    @given(st.integers(0, 10_000))
+    def test_blocks_for_covers_request(self, size):
+        pool = MemoryPool("p", 64, 10)
+        blocks = pool.blocks_for(size)
+        assert blocks * 64 >= size
+        assert blocks >= 1
+        # Minimal: one block fewer would not fit (except the 0 case).
+        if size > 64:
+            assert (blocks - 1) * 64 < size
+
+
+class TestPicProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.text(min_size=1, max_size=6), st.integers(0, 0xFFFF)
+            ),
+            min_size=1,
+            max_size=12,
+            unique_by=(lambda t: t[0], lambda t: t[1]),
+        )
+    )
+    @settings(max_examples=50)
+    def test_local_global_bijection(self, entries):
+        pic = Pic(tuple(PortInit(n, i) for n, i in entries))
+        for index in range(len(pic)):
+            assert pic.local_index(pic.port_id(index)) == index

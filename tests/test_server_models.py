@@ -1,0 +1,290 @@
+"""Unit tests for server models, database, and compatibility checks."""
+
+import pytest
+
+from repro.core.virtual_ports import VirtualPortKind
+from repro.errors import DuplicateEntityError, UnknownEntityError
+from repro.server import (
+    App,
+    ConnectionKind,
+    ConnectionSpec,
+    Database,
+    EcuHw,
+    ExternalSpec,
+    HwConf,
+    InstallStatus,
+    InstalledApp,
+    InstalledPlugin,
+    PluginDescriptor,
+    PluginSwcDesc,
+    SwConf,
+    SystemSwConf,
+    User,
+    Vehicle,
+    VehicleConf,
+    VirtualPortDesc,
+    check_compatibility,
+)
+from tests.helpers import make_binary
+
+
+def make_system_sw():
+    return SystemSwConf(
+        (
+            PluginSwcDesc(
+                "swc1",
+                "ECU1",
+                (
+                    VirtualPortDesc("V0", VirtualPortKind.RELAY_OUT, "swc2"),
+                    VirtualPortDesc("V1", VirtualPortKind.RELAY_IN, "swc2"),
+                ),
+            ),
+            PluginSwcDesc(
+                "swc2",
+                "ECU2",
+                (
+                    VirtualPortDesc("V2", VirtualPortKind.RELAY_OUT, "swc1"),
+                    VirtualPortDesc("V3", VirtualPortKind.RELAY_IN, "swc1"),
+                    VirtualPortDesc("V4", VirtualPortKind.SERVICE_OUT),
+                ),
+                vm_memory_bytes=4096,
+            ),
+        )
+    )
+
+
+def make_test_vehicle(vin="V1", model="m1"):
+    hw = HwConf(model, (EcuHw("ECU1"), EcuHw("ECU2")))
+    return Vehicle(vin, model, VehicleConf(hw, make_system_sw()))
+
+
+def make_test_app(name="app", model="m1", deps=(), conflicts=()):
+    plugin = PluginDescriptor(name + "_p", make_binary(), ("in", "out"))
+    conf = SwConf(
+        model=model,
+        placements=((plugin.name, "swc2"),),
+        connections=(
+            ConnectionSpec(
+                ConnectionKind.VIRTUAL, plugin.name, "out", target_virtual="V4"
+            ),
+            ConnectionSpec(ConnectionKind.UNCONNECTED, plugin.name, "in"),
+        ),
+    )
+    return App(
+        name, "1.0", {plugin.name: plugin}, [conf],
+        dependencies=tuple(deps), conflicts=tuple(conflicts),
+    )
+
+
+class TestDatabase:
+    def test_user_crud(self):
+        db = Database()
+        db.add_user(User("u1", "Alice"))
+        assert db.user("u1").name == "Alice"
+        with pytest.raises(DuplicateEntityError):
+            db.add_user(User("u1", "Bob"))
+        with pytest.raises(UnknownEntityError):
+            db.user("u2")
+
+    def test_vehicle_binding(self):
+        db = Database()
+        db.add_user(User("u1", "Alice"))
+        db.add_vehicle(make_test_vehicle("V1"))
+        db.bind_vehicle("u1", "V1")
+        assert db.vehicle("V1").owner == "u1"
+        assert [v.vin for v in db.vehicles_of("u1")] == ["V1"]
+
+    def test_rebind_to_other_user_rejected(self):
+        db = Database()
+        db.add_user(User("u1", "Alice"))
+        db.add_user(User("u2", "Bob"))
+        db.add_vehicle(make_test_vehicle("V1"))
+        db.bind_vehicle("u1", "V1")
+        with pytest.raises(DuplicateEntityError):
+            db.bind_vehicle("u2", "V1")
+
+    def test_bind_idempotent_for_same_user(self):
+        db = Database()
+        db.add_user(User("u1", "Alice"))
+        db.add_vehicle(make_test_vehicle("V1"))
+        db.bind_vehicle("u1", "V1")
+        db.bind_vehicle("u1", "V1")
+        assert db.user("u1").vehicles == ["V1"]
+
+    def test_dependents_lookup(self):
+        db = Database()
+        db.add_vehicle(make_test_vehicle("V1"))
+        db.add_app(make_test_app("base"))
+        db.add_app(make_test_app("addon", deps=("base",)))
+        vehicle = db.vehicle("V1")
+        vehicle.conf.installed["base"] = InstalledApp(
+            "base", "1.0", InstallStatus.ACTIVE
+        )
+        vehicle.conf.installed["addon"] = InstalledApp(
+            "addon", "1.0", InstallStatus.ACTIVE
+        )
+        assert db.dependents_of("V1", "base") == ["addon"]
+        assert db.dependents_of("V1", "addon") == []
+
+
+class TestModels:
+    def test_used_port_ids(self):
+        vehicle = make_test_vehicle()
+        app = InstalledApp("a", "1.0", InstallStatus.ACTIVE)
+        app.plugins.append(InstalledPlugin("p", "swc2", "ECU2", (0, 1, 5)))
+        vehicle.conf.installed["a"] = app
+        assert vehicle.conf.used_port_ids("swc2") == {0, 1, 5}
+        assert vehicle.conf.used_port_ids("swc1") == set()
+
+    def test_relay_toward(self):
+        swc = make_system_sw().swc("swc1")
+        assert swc.relay_toward("swc2").name == "V0"
+        assert swc.relay_toward("swc9") is None
+
+    def test_app_conf_for_model(self):
+        app = make_test_app(model="m1")
+        assert app.conf_for_model("m1") is not None
+        assert app.conf_for_model("m2") is None
+
+    def test_all_acked(self):
+        app = InstalledApp("a", "1.0", InstallStatus.PENDING)
+        app.plugins.append(InstalledPlugin("p", "swc2", "ECU2", (0,)))
+        assert not app.all_acked()
+        app.plugins[0].acked = True
+        assert app.all_acked()
+
+
+class TestCompatibility:
+    def test_compatible_app_passes(self):
+        report = check_compatibility(make_test_app(), make_test_vehicle())
+        assert report.ok, report.reasons
+        assert report.sw_conf is not None
+
+    def test_missing_model_descriptor_fails(self):
+        report = check_compatibility(
+            make_test_app(model="other"), make_test_vehicle(model="m1")
+        )
+        assert not report.ok
+        assert "no deployment descriptor" in report.reasons[0]
+
+    def test_unknown_swc_fails(self):
+        app = make_test_app()
+        bad_conf = SwConf(
+            model="m1",
+            placements=(("app_p", "ghost_swc"),),
+        )
+        app.sw_confs[0] = bad_conf
+        report = check_compatibility(app, make_test_vehicle())
+        assert not report.ok
+
+    def test_unknown_virtual_port_fails(self):
+        app = make_test_app()
+        conf = app.sw_confs[0]
+        app.sw_confs[0] = SwConf(
+            model="m1",
+            placements=conf.placements,
+            connections=(
+                ConnectionSpec(
+                    ConnectionKind.VIRTUAL, "app_p", "out",
+                    target_virtual="V99",
+                ),
+            ),
+        )
+        report = check_compatibility(app, make_test_vehicle())
+        assert not report.ok
+        assert any("V99" in r for r in report.reasons)
+
+    def test_missing_dependency_fails(self):
+        report = check_compatibility(
+            make_test_app(deps=("base",)), make_test_vehicle()
+        )
+        assert not report.ok
+        assert any("requires" in r for r in report.reasons)
+
+    def test_satisfied_dependency_passes(self):
+        vehicle = make_test_vehicle()
+        vehicle.conf.installed["base"] = InstalledApp(
+            "base", "1.0", InstallStatus.ACTIVE
+        )
+        report = check_compatibility(make_test_app(deps=("base",)), vehicle)
+        assert report.ok, report.reasons
+
+    def test_pending_dependency_not_enough(self):
+        vehicle = make_test_vehicle()
+        vehicle.conf.installed["base"] = InstalledApp(
+            "base", "1.0", InstallStatus.PENDING
+        )
+        report = check_compatibility(make_test_app(deps=("base",)), vehicle)
+        assert not report.ok
+
+    def test_conflict_fails(self):
+        vehicle = make_test_vehicle()
+        vehicle.conf.installed["evil"] = InstalledApp(
+            "evil", "1.0", InstallStatus.ACTIVE
+        )
+        report = check_compatibility(
+            make_test_app(conflicts=("evil",)), vehicle
+        )
+        assert not report.ok
+        assert any("conflicts" in r for r in report.reasons)
+
+    def test_cross_swc_connection_requires_relay(self):
+        plugin_a = PluginDescriptor("pa", make_binary(), ("out",))
+        plugin_b = PluginDescriptor("pb", make_binary(), ("in",))
+        conf = SwConf(
+            model="m1",
+            placements=(("pa", "swc1"), ("pb", "swc2")),
+            connections=(
+                ConnectionSpec(
+                    ConnectionKind.PLUGIN, "pa", "out",
+                    target_plugin="pb", target_port="in",
+                ),
+            ),
+        )
+        app = App("x", "1.0", {"pa": plugin_a, "pb": plugin_b}, [conf])
+        # swc1 has a relay toward swc2, so this passes.
+        report = check_compatibility(app, make_test_vehicle())
+        assert report.ok, report.reasons
+
+    def test_cross_swc_without_relay_fails(self):
+        vehicle = make_test_vehicle()
+        # Strip the relay ports from swc1.
+        stripped = PluginSwcDesc("swc1", "ECU1", ())
+        vehicle.conf = VehicleConf(
+            vehicle.conf.hw,
+            SystemSwConf((stripped, vehicle.conf.system_sw.swc("swc2"))),
+        )
+        plugin_a = PluginDescriptor("pa", make_binary(), ("out",))
+        plugin_b = PluginDescriptor("pb", make_binary(), ("in",))
+        conf = SwConf(
+            model="m1",
+            placements=(("pa", "swc1"), ("pb", "swc2")),
+            connections=(
+                ConnectionSpec(
+                    ConnectionKind.PLUGIN, "pa", "out",
+                    target_plugin="pb", target_port="in",
+                ),
+            ),
+        )
+        app = App("x", "1.0", {"pa": plugin_a, "pb": plugin_b}, [conf])
+        report = check_compatibility(app, vehicle)
+        assert not report.ok
+        assert any("relay" in r for r in report.reasons)
+
+    def test_unplaced_plugin_fails(self):
+        app = make_test_app()
+        app.sw_confs[0] = SwConf(model="m1", placements=())
+        report = check_compatibility(app, make_test_vehicle())
+        assert not report.ok
+
+    def test_external_route_port_checked(self):
+        app = make_test_app()
+        conf = app.sw_confs[0]
+        app.sw_confs[0] = SwConf(
+            model="m1",
+            placements=conf.placements,
+            connections=conf.connections,
+            externals=(ExternalSpec("1.2.3.4:5", "Msg", "app_p", "ghost"),),
+        )
+        report = check_compatibility(app, make_test_vehicle())
+        assert not report.ok

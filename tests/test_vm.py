@@ -1,0 +1,404 @@
+"""Unit tests for the plug-in VM: assembler, container, interpreter."""
+
+import pytest
+
+from repro.errors import (
+    AssemblerError,
+    BinaryFormatError,
+    FuelExhaustedError,
+    VmMemoryError,
+    VmTrap,
+)
+from repro.vm import NullBridge, Vm, assemble, compile_plugin, pack, unpack
+
+
+def run_prog(source, entry="main", args=(), mem=16, fuel=10_000, bridge=None):
+    binary = compile_plugin(source, mem_hint=mem)
+    vm = Vm(binary, fuel_per_activation=fuel)
+    bridge = bridge or NullBridge()
+    result = vm.activate(entry, bridge, args=args)
+    return vm, bridge, result
+
+
+class TestAssembler:
+    def test_simple_program_assembles(self):
+        out = assemble(".entry main\nPUSH 1\nHALT\n")
+        assert out.entries == {"main": 0}
+        assert out.instruction_count == 2
+
+    def test_comments_and_blanks_ignored(self):
+        out = assemble("; header\n\n.entry main\n  PUSH 1 ; inline\nHALT")
+        assert out.instruction_count == 2
+
+    def test_labels_resolve(self):
+        src = """
+        .entry main
+        start:
+            PUSH 0
+            JZ end
+        end:
+            HALT
+        """
+        out = assemble(src)
+        assert out.entries["main"] == 0
+
+    def test_forward_and_backward_labels(self):
+        src = """
+        .entry main
+            JMP fwd
+        back:
+            HALT
+        fwd:
+            JMP back
+        """
+        assemble(src)
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".entry main\nFLY 1\n")
+
+    def test_missing_entry_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("PUSH 1\nHALT\n")
+
+    def test_duplicate_entry_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".entry a\n.entry a\nHALT\n")
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".entry m\nx:\nNOP\nx:\nHALT\n")
+
+    def test_dangling_entry_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".entry m\nHALT\n.entry tail\n")
+
+    def test_operand_arity_checked(self):
+        with pytest.raises(AssemblerError):
+            assemble(".entry m\nPUSH\n")
+        with pytest.raises(AssemblerError):
+            assemble(".entry m\nADD 3\n")
+
+    def test_operand_ranges_checked(self):
+        with pytest.raises(AssemblerError):
+            assemble(".entry m\nPUSH 99999999999\n")
+        with pytest.raises(AssemblerError):
+            assemble(".entry m\nRDPORT 300\n")
+
+    def test_hex_operands(self):
+        out = assemble(".entry m\nPUSH 0x10\nHALT\n")
+        assert out.instruction_count == 2
+
+
+class TestContainer:
+    def test_roundtrip(self):
+        binary = compile_plugin(".entry main\nPUSH 7\nHALT\n", mem_hint=33)
+        assert binary.mem_hint == 33
+        assert binary.has_entry("main")
+        assert not binary.has_entry("other")
+
+    def test_crc_detects_corruption(self):
+        raw = bytearray(pack(assemble(".entry m\nPUSH 7\nHALT\n")))
+        raw[10] ^= 0xFF
+        with pytest.raises(BinaryFormatError):
+            unpack(bytes(raw))
+
+    def test_bad_magic_rejected(self):
+        raw = bytearray(pack(assemble(".entry m\nHALT\n")))
+        raw[0:4] = b"XXXX"
+        # Fix CRC so the magic check is what trips.
+        import struct, zlib
+
+        raw[-4:] = struct.pack("<I", zlib.crc32(bytes(raw[:-4])))
+        with pytest.raises(BinaryFormatError):
+            unpack(bytes(raw))
+
+    def test_truncated_rejected(self):
+        with pytest.raises(BinaryFormatError):
+            unpack(b"PIB1")
+
+    def test_size_reported(self):
+        binary = compile_plugin(".entry m\nHALT\n")
+        assert binary.size == len(binary.raw)
+        assert binary.size > 13
+
+    def test_multiple_entries(self):
+        src = """
+        .entry on_init
+            HALT
+        .entry on_message
+            HALT
+        """
+        binary = compile_plugin(src)
+        assert binary.entry_offset("on_init") == 0
+        assert binary.entry_offset("on_message") == 1
+
+    def test_unknown_entry_offset_raises(self):
+        binary = compile_plugin(".entry m\nHALT\n")
+        with pytest.raises(BinaryFormatError):
+            binary.entry_offset("nope")
+
+
+class TestInterpreter:
+    def test_arithmetic(self):
+        src = """
+        .entry main
+            PUSH 6
+            PUSH 7
+            MUL
+            EMIT
+            HALT
+        """
+        vm, __, __ = run_prog(src)
+        assert vm.emitted == [42]
+
+    def test_sub_div_mod_order(self):
+        src = """
+        .entry main
+            PUSH 10
+            PUSH 3
+            SUB
+            EMIT
+            PUSH 10
+            PUSH 3
+            DIV
+            EMIT
+            PUSH 10
+            PUSH 3
+            MOD
+            EMIT
+            HALT
+        """
+        vm, __, __ = run_prog(src)
+        assert vm.emitted == [7, 3, 1]
+
+    def test_negative_division_truncates_toward_zero(self):
+        src = """
+        .entry main
+            PUSH -7
+            PUSH 2
+            DIV
+            EMIT
+            HALT
+        """
+        vm, __, __ = run_prog(src)
+        assert vm.emitted == [-3]
+
+    def test_wrap32_overflow(self):
+        src = """
+        .entry main
+            PUSH 2147483647
+            PUSH 1
+            ADD
+            EMIT
+            HALT
+        """
+        vm, __, __ = run_prog(src)
+        assert vm.emitted == [-2147483648]
+
+    def test_comparisons(self):
+        src = """
+        .entry main
+            PUSH 3
+            PUSH 5
+            LT
+            EMIT
+            PUSH 3
+            PUSH 5
+            GE
+            EMIT
+            HALT
+        """
+        vm, __, __ = run_prog(src)
+        assert vm.emitted == [1, 0]
+
+    def test_memory_persists_across_activations(self):
+        src = """
+        .entry main
+            LOAD 0
+            PUSH 1
+            ADD
+            STORE 0
+            LOAD 0
+            EMIT
+            HALT
+        """
+        binary = compile_plugin(src, mem_hint=4)
+        vm = Vm(binary)
+        bridge = NullBridge()
+        vm.activate("main", bridge)
+        vm.activate("main", bridge)
+        vm.activate("main", bridge)
+        assert vm.emitted == [1, 2, 3]
+
+    def test_indirect_memory(self):
+        src = """
+        .entry main
+            PUSH 99
+            PUSH 3
+            STOREI
+            PUSH 3
+            LOADI
+            EMIT
+            HALT
+        """
+        vm, __, __ = run_prog(src)
+        assert vm.emitted == [99]
+
+    def test_loop_and_branches(self):
+        # Sum 1..10 = 55
+        src = """
+        .entry main
+            PUSH 0
+            STORE 0      ; acc
+            PUSH 10
+            STORE 1      ; i
+        loop:
+            LOAD 1
+            JZ done
+            LOAD 0
+            LOAD 1
+            ADD
+            STORE 0
+            LOAD 1
+            PUSH 1
+            SUB
+            STORE 1
+            JMP loop
+        done:
+            LOAD 0
+            EMIT
+            HALT
+        """
+        vm, __, __ = run_prog(src)
+        assert vm.emitted == [55]
+
+    def test_call_ret(self):
+        src = """
+        .entry main
+            PUSH 5
+            CALL double
+            EMIT
+            HALT
+        double:
+            PUSH 2
+            MUL
+            RET
+        """
+        vm, __, __ = run_prog(src)
+        assert vm.emitted == [10]
+
+    def test_ret_at_depth_zero_ends_activation(self):
+        vm, __, result = run_prog(".entry main\nRET\n")
+        assert not result.halted
+
+    def test_args_are_pre_pushed(self):
+        src = """
+        .entry on_message
+            ADD
+            EMIT
+            HALT
+        """
+        vm, __, __ = run_prog(src, entry="on_message", args=(30, 12))
+        assert vm.emitted == [42]
+
+    def test_port_io_via_bridge(self):
+        bridge = NullBridge()
+        bridge.values[0] = 17
+        src = """
+        .entry main
+            RDPORT 0
+            PUSH 1
+            ADD
+            WRPORT 1
+            HALT
+        """
+        __, bridge, __ = run_prog(src, bridge=bridge)
+        assert bridge.written == [(1, 18)]
+
+    def test_stack_machine_ops(self):
+        src = """
+        .entry main
+            PUSH 1
+            PUSH 2
+            SWAP
+            EMIT    ; 1
+            EMIT    ; 2
+            PUSH 3
+            PUSH 4
+            OVER
+            EMIT    ; 3
+            HALT
+        """
+        vm, __, __ = run_prog(src)
+        assert vm.emitted == [1, 2, 3]
+
+
+class TestTrapsAndQuotas:
+    def test_fuel_exhaustion(self):
+        src = """
+        .entry main
+        loop:
+            JMP loop
+        """
+        binary = compile_plugin(src)
+        vm = Vm(binary, fuel_per_activation=100)
+        with pytest.raises(FuelExhaustedError):
+            vm.activate("main", NullBridge())
+        assert vm.traps == 1
+
+    def test_fuel_override_per_activation(self):
+        src = ".entry main\nloop:\nJMP loop\n"
+        vm = Vm(compile_plugin(src), fuel_per_activation=10**9)
+        with pytest.raises(FuelExhaustedError):
+            vm.activate("main", NullBridge(), fuel=50)
+
+    def test_memory_bounds_trap(self):
+        with pytest.raises(VmMemoryError):
+            run_prog(".entry main\nLOAD 100\nHALT\n", mem=4)
+
+    def test_indirect_memory_bounds_trap(self):
+        with pytest.raises(VmMemoryError):
+            run_prog(".entry main\nPUSH -1\nLOADI\nHALT\n", mem=4)
+
+    def test_stack_underflow_trap(self):
+        with pytest.raises(VmTrap):
+            run_prog(".entry main\nADD\nHALT\n")
+
+    def test_stack_overflow_trap(self):
+        src = ".entry main\nloop:\nPUSH 1\nJMP loop\n"
+        with pytest.raises(VmTrap):
+            run_prog(src, fuel=10_000)
+
+    def test_division_by_zero_trap(self):
+        with pytest.raises(VmTrap):
+            run_prog(".entry main\nPUSH 1\nPUSH 0\nDIV\nHALT\n")
+
+    def test_pc_off_end_trap(self):
+        with pytest.raises(VmTrap):
+            run_prog(".entry main\nNOP\n")  # no HALT
+
+    def test_call_depth_trap(self):
+        src = """
+        .entry main
+        rec:
+            CALL rec
+            HALT
+        """
+        with pytest.raises(VmTrap):
+            run_prog(src)
+
+    def test_fuel_accounting_accumulates(self):
+        src = ".entry main\nPUSH 1\nPOP\nHALT\n"
+        binary = compile_plugin(src)
+        vm = Vm(binary)
+        vm.activate("main", NullBridge())
+        vm.activate("main", NullBridge())
+        assert vm.total_fuel_used == 2 * 3
+        assert vm.activations == 2
+
+    def test_trap_counts(self):
+        vm = Vm(compile_plugin(".entry main\nADD\nHALT\n"))
+        with pytest.raises(VmTrap):
+            vm.activate("main", NullBridge())
+        assert vm.traps == 1
