@@ -31,8 +31,10 @@ def deploy_fleet(size, seed=0):
     fleet.server.web.upload_app(make_remote_control_app(PHONE_ADDRESS))
     fleet.boot()
     fleet.sim.run_for(1 * SECOND)  # ECMs connect
-    fleet.deploy_everywhere("remote-control")
-    elapsed = fleet.run_until_active("remote-control", 120 * SECOND)
+    campaign = fleet.deploy_everywhere("remote-control")
+    assert campaign.ok  # every VIN accepted, not just the survivors
+    elapsed = campaign.wait(120 * SECOND)
+    assert campaign.all_active
     assert elapsed > 0
     return elapsed, fleet
 
@@ -103,8 +105,10 @@ def test_deploy_scales_with_package_size(benchmark):
         fleet.server.web.upload_app(padded)
         fleet.boot()
         fleet.sim.run_for(1 * SECOND)
-        fleet.deploy_everywhere(padded.name)
-        elapsed = fleet.run_until_active(padded.name, 300 * SECOND)
+        campaign = fleet.deploy_everywhere(padded.name)
+        assert campaign.ok
+        elapsed = campaign.wait(300 * SECOND)
+        assert campaign.all_active
         assert elapsed > 0
         times.append(elapsed)
         size = padded.total_binary_size()

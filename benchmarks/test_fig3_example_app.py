@@ -15,7 +15,6 @@ dispatch periods plus one CAN hop (milliseconds, not seconds).
 from benchmarks.conftest import ROOT  # noqa: F401 (path setup)
 from repro.analysis import print_table, us_to_ms
 from repro.fes.example_platform import build_example_platform
-from repro.server.models import InstallStatus
 from repro.sim import MS, SECOND, LatencyStats
 
 
@@ -26,30 +25,24 @@ def run_install_timeline(seed=0):
     platform.boot()
     platform.run(1 * MS)  # let init runnables create the PIRTEs
     # Advance until the ECM reports connected.
-    while not platform.vehicle.ecm_pirte.connected:
+    while not platform.vehicle().ecm_pirte.connected:
         platform.run(10 * MS)
     connect_us = platform.sim.now - t0
-    t1 = platform.sim.now
-    result = platform.deploy_remote_control()
-    assert result.ok, result.reasons
-    while (
-        platform.server.web.installation_status("VIN-0001", "remote-control")
-        is not InstallStatus.ACTIVE
-    ):
-        platform.run(10 * MS)
-        assert platform.sim.now - t1 < 60 * SECOND
-    install_us = platform.sim.now - t1
+    deployment = platform.deploy("remote-control")
+    assert deployment.ok, deployment.reasons("VIN-0001")
+    install_us = deployment.wait(60 * SECOND, step_us=10 * MS)
+    assert deployment.all_active
     return connect_us, install_us, platform
 
 
 def measure_command_latencies(platform, n=30):
     """Steady-state phone->actuator latency samples (simulated us)."""
-    actuators = platform.vehicle.system.instance("actuators")
+    actuators = platform.vehicle().system.instance("actuators")
     latencies = []
     for i in range(n):
         sent_at = platform.sim.now
         before = len(actuators.state.get("wheels", []))
-        platform.phone.send("Wheels", i - 15)
+        platform.phone().send("Wheels", i - 15)
         while len(actuators.state.get("wheels", [])) == before:
             platform.run(1 * MS)
             assert platform.sim.now - sent_at < 1 * SECOND
@@ -89,10 +82,10 @@ def test_fig3_signal_chain_detail(benchmark):
     __, __, platform = run_install_timeline(seed=2)
     tracer = platform.tracer
     tracer.clear()
-    com_vm = platform.vehicle.ecm_pirte.plugin("COM").vm
-    op_vm = platform.vehicle.pirte_of("swc2").plugin("OP").vm
+    com_vm = platform.vehicle().ecm_pirte.plugin("COM").vm
+    op_vm = platform.vehicle().pirte_of("swc2").plugin("OP").vm
     vm_before = com_vm.activations + op_vm.activations
-    platform.phone.send("Wheels", -12)
+    platform.phone().send("Wheels", -12)
     platform.run(200 * MS)
     writes = tracer.select("rte", "write")
     delivers = tracer.select("rte", "deliver")
@@ -113,4 +106,4 @@ def test_fig3_signal_chain_detail(benchmark):
     assert actuated == [-12]
     assert can_tx >= 1  # the type II hop crossed the bus
 
-    benchmark(lambda: platform.phone.send("Wheels", 1))
+    benchmark(lambda: platform.phone().send("Wheels", 1))

@@ -21,30 +21,23 @@ Per vehicle, the APP installs three plug-ins:
 Run:  python examples/federated_speed_advisory.py
 """
 
+from repro import (
+    RelayLink,
+    ScenarioBuilder,
+    ServicePort,
+    Smartphone,
+    build_fleet,
+)
+from repro.api.builder import AppBuilder
 from repro.autosar.events import DataReceivedEvent, TimingEvent
 from repro.autosar.interfaces import DataElement, SenderReceiverInterface
 from repro.autosar.ports import provided_port, required_port
 from repro.autosar.runnable import Runnable
 from repro.autosar.swc import ComponentType
 from repro.autosar.types import INT16
-from repro.core.plugin_swc import PluginSwcSpec, RelayLink, ServicePort
-from repro.fes import build_fleet
-from repro.fes.phone import Smartphone
-from repro.fes.vehicle import (
-    LegacyComponent,
-    PluginSwcPlacement,
-    VehicleSpec,
-)
-from repro.server.models import (
-    App,
-    ConnectionKind,
-    ConnectionSpec,
-    ExternalSpec,
-    PluginDescriptor,
-    SwConf,
-)
+from repro.fes.vehicle import VehicleSpec
+from repro.server.models import App
 from repro.sim import MS, SECOND, format_time
-from repro.vm.loader import compile_plugin
 
 ADVISORY_ADDRESS = "advisory.cloud.example:9000"
 MODEL = "fes-sedan"
@@ -100,83 +93,45 @@ def make_drivetrain_type(initial_speed: int) -> ComponentType:
 
 
 def make_fes_vehicle_spec(vin: str, server_address: str) -> VehicleSpec:
-    """A vehicle whose drivetrain speed is exposed on V6."""
-    ecm_spec = PluginSwcSpec(
-        "FesEcm",
+    """A vehicle whose drivetrain speed is exposed on V6 (declarative)."""
+    # Heterogeneous but deterministic initial speeds (30..70 km/h).
+    initial = 30 + (sum(ord(c) for c in vin) % 5) * 10
+    sedan = ScenarioBuilder(server_address=server_address).vehicle(vin, MODEL)
+    sedan.ecus("ECU1", "ECU2")
+    sedan.ecm(
+        "swc1", on="ECU1", type_name="FesEcm",
         relays=[RelayLink(peer="swc2", out_virtual="V0", in_virtual="V1")],
-        has_mgmt=False,
     )
-    swc2_spec = PluginSwcSpec(
-        "FesSwc2",
+    sedan.plugin_swc(
+        "swc2", on="ECU2", type_name="FesSwc2",
         relays=[RelayLink(peer="swc1", out_virtual="V2", in_virtual="V3")],
         services=[
             ServicePort("V5", "speed_req", "out", INT16),
             ServicePort("V6", "speed_prov", "in", INT16),
         ],
     )
-    # Heterogeneous but deterministic initial speeds (30..70 km/h).
-    initial = 30 + (sum(ord(c) for c in vin) % 5) * 10
-    return VehicleSpec(
-        vin=vin,
-        model=MODEL,
-        ecus=["ECU1", "ECU2"],
-        ecm=PluginSwcPlacement("swc1", "ECU1", ecm_spec),
-        plugin_swcs=[PluginSwcPlacement("swc2", "ECU2", swc2_spec)],
-        legacy=[
-            LegacyComponent(
-                "drivetrain", make_drivetrain_type(initial), "ECU2"
-            ),
-        ],
-        connectors=[
-            ("drivetrain", "speed_out", "swc2", "speed_prov"),
-            ("swc2", "speed_req", "drivetrain", "speed_cmd"),
-        ],
-        server_address=server_address,
-    )
+    sedan.legacy("drivetrain", make_drivetrain_type(initial), on="ECU2")
+    sedan.connect("drivetrain", "speed_out", "swc2", "speed_prov")
+    sedan.connect("swc2", "speed_req", "drivetrain", "speed_cmd")
+    return sedan.to_spec()
 
 
 def make_advisory_app() -> App:
-    probe = PluginDescriptor(
-        "PROBE", compile_plugin(FORWARD, mem_hint=8).raw,
-        ("speed_in", "report_out"),
-    )
-    rep = PluginDescriptor(
-        "REP", compile_plugin(FORWARD, mem_hint=8).raw,
-        ("report_in", "report_ext"),
-    )
-    limit = PluginDescriptor(
-        "LIMIT", compile_plugin(FORWARD, mem_hint=8).raw,
-        ("advisory_in", "speed_cmd"),
-    )
-    conf = SwConf(
-        model=MODEL,
-        placements=(("PROBE", "swc2"), ("REP", "swc1"), ("LIMIT", "swc2")),
-        connections=(
-            ConnectionSpec(
-                ConnectionKind.VIRTUAL, "PROBE", "speed_in",
-                target_virtual="V6",
-            ),
-            ConnectionSpec(
-                ConnectionKind.PLUGIN, "PROBE", "report_out",
-                target_plugin="REP", target_port="report_in",
-            ),
-            ConnectionSpec(ConnectionKind.UNCONNECTED, "REP", "report_ext"),
-            ConnectionSpec(ConnectionKind.UNCONNECTED, "LIMIT", "advisory_in"),
-            ConnectionSpec(
-                ConnectionKind.VIRTUAL, "LIMIT", "speed_cmd",
-                target_virtual="V5",
-            ),
-        ),
-        externals=(
-            ExternalSpec(ADVISORY_ADDRESS, "SpeedReport", "REP", "report_ext"),
-            ExternalSpec(ADVISORY_ADDRESS, "Advisory", "LIMIT", "advisory_in"),
-        ),
-    )
-    return App(
-        "speed-advisory", "1.0",
-        {"PROBE": probe, "REP": rep, "LIMIT": limit},
-        [conf],
-    )
+    app = AppBuilder(None, "speed-advisory", MODEL)
+    app.plugin("PROBE", source=FORWARD, mem_hint=8, on="swc2",
+               ports=("speed_in", "report_out"))
+    app.plugin("REP", source=FORWARD, mem_hint=8, on="swc1",
+               ports=("report_in", "report_ext"))
+    app.plugin("LIMIT", source=FORWARD, mem_hint=8, on="swc2",
+               ports=("advisory_in", "speed_cmd"))
+    app.virtual("PROBE", "speed_in", "V6")
+    app.wire("PROBE", "report_out", "REP", "report_in")
+    app.unconnected("REP", "report_ext")
+    app.unconnected("LIMIT", "advisory_in")
+    app.virtual("LIMIT", "speed_cmd", "V5")
+    app.external(ADVISORY_ADDRESS, "SpeedReport", "REP", "report_ext")
+    app.external(ADVISORY_ADDRESS, "Advisory", "LIMIT", "advisory_in")
+    return app.to_app()
 
 
 def main() -> None:
@@ -189,9 +144,9 @@ def main() -> None:
     fleet.sim.run_for(1 * SECOND)
 
     print("== deploying the speed-advisory APP fleet-wide ==")
-    results = fleet.deploy_everywhere("speed-advisory")
-    print(f"   accepted: {sum(r.ok for r in results)}/{fleet_size}")
-    elapsed = fleet.run_until_active("speed-advisory", 30 * SECOND)
+    campaign = fleet.deploy_everywhere("speed-advisory")
+    print(f"   accepted: {sum(r.ok for r in campaign)}/{fleet_size}")
+    elapsed = campaign.wait(30 * SECOND)
     print(f"   fleet ACTIVE after {format_time(elapsed)}")
 
     print("== federation running: reports flow in, advisories flow out ==")

@@ -11,10 +11,10 @@ classical full-reflash baseline.
 Run:  python examples/fleet_ota_campaign.py
 """
 
+from repro import build_fleet
 from repro.baselines import ReflashParameters, ota_reflash_time_us
-from repro.fes import build_fleet, make_example_vehicle_spec
+from repro.fes import make_example_vehicle_spec
 from repro.fes.example_platform import PHONE_ADDRESS, make_remote_control_app
-from repro.server.models import InstallStatus
 from repro.sim import SECOND, format_time
 
 
@@ -39,11 +39,11 @@ def main() -> None:
     print(f"   reason: {odd.reasons[0]}")
 
     print("== campaign: deploy to every compatible vehicle ==")
-    t0 = fleet.sim.now
-    results = fleet.deploy_everywhere("remote-control")
-    print(f"   accepted: {sum(r.ok for r in results)}/{fleet_size}")
-    elapsed = fleet.run_until_active("remote-control", 30 * SECOND)
-    print(f"   all {fleet_size} vehicles ACTIVE after {format_time(elapsed)}")
+    campaign = fleet.deploy_everywhere("remote-control")
+    print(f"   accepted: {sum(r.ok for r in campaign)}/{fleet_size}")
+    elapsed = campaign.wait(30 * SECOND)
+    print(f"   all {campaign.active_count()} vehicles ACTIVE "
+          f"after {format_time(elapsed)}")
 
     print("== workshop: ECU2 of vehicle 0 is replaced ==")
     victim = fleet.vehicles[0]

@@ -15,16 +15,9 @@ drivetrain, keeping state in VM memory across activations.
 Run:  python examples/plugin_development.py
 """
 
+from repro import build_example_platform
+from repro.api import AppBuilder, App
 from repro.core.testbench import PluginTestBench
-from repro.fes.example_platform import build_example_platform
-from repro.server.models import (
-    App,
-    ConnectionKind,
-    ConnectionSpec,
-    ExternalSpec,
-    PluginDescriptor,
-    SwConf,
-)
 from repro.sim import SECOND
 from repro.vm.disasm import disassemble
 from repro.vm.loader import compile_plugin
@@ -101,26 +94,13 @@ def bench_phase() -> bytes:
 
 
 def make_cruise_app(binary_raw: bytes) -> App:
-    descriptor = PluginDescriptor(
-        "CRUISE", binary_raw, ("speed_in", "speed_out")
-    )
-    conf = SwConf(
-        model="model-car-rpi",
-        placements=(("CRUISE", "swc2"),),
-        connections=(
-            ConnectionSpec(ConnectionKind.UNCONNECTED, "CRUISE", "speed_in"),
-            ConnectionSpec(
-                ConnectionKind.VIRTUAL, "CRUISE", "speed_out",
-                target_virtual="V5",
-            ),
-        ),
-        externals=(
-            ExternalSpec(
-                "111.22.33.44:56789", "CruiseSpeed", "CRUISE", "speed_in"
-            ),
-        ),
-    )
-    return App("cruise-filter", "1.0", {"CRUISE": descriptor}, [conf])
+    app = AppBuilder(None, "cruise-filter", "model-car-rpi")
+    app.plugin("CRUISE", binary=binary_raw, on="swc2",
+               ports=("speed_in", "speed_out"))
+    app.unconnected("CRUISE", "speed_in")
+    app.virtual("CRUISE", "speed_out", "V5")
+    app.external("111.22.33.44:56789", "CruiseSpeed", "CRUISE", "speed_in")
+    return app.to_app()
 
 
 def deploy_phase(binary_raw: bytes) -> None:
@@ -129,17 +109,15 @@ def deploy_phase(binary_raw: bytes) -> None:
     platform.server.web.upload_app(make_cruise_app(binary_raw))
     platform.boot()
     platform.run(1 * SECOND)
-    result = platform.server.web.deploy(
-        platform.user_id, platform.vehicle.vin, "cruise-filter"
-    )
-    assert result.ok, result.reasons
-    platform.run(3 * SECOND)
+    deployment = platform.deploy("cruise-filter")
+    assert deployment.ok, deployment.reasons(platform.vehicle().vin)
+    deployment.wait(10 * SECOND)
     print("   installed:",
-          "CRUISE" in platform.vehicle.pirte_of("swc2").plugins)
+          "CRUISE" in platform.vehicle().pirte_of("swc2").plugins)
 
     print("== 4. same behaviour in the vehicle as on the bench ==")
     for requested in (3, 20, 20, 20, -10):
-        platform.phone.send("CruiseSpeed", requested)
+        platform.phone().send("CruiseSpeed", requested)
         platform.run(int(0.3 * SECOND))
     platform.run(1 * SECOND)
     actuated = platform.actuator_state().get("speed")

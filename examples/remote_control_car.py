@@ -11,7 +11,7 @@ drive session where steering commands flow
 Run:  python examples/remote_control_car.py
 """
 
-from repro.fes import build_example_platform
+from repro import build_example_platform
 from repro.sim import MS, SECOND, format_time
 
 
@@ -29,7 +29,7 @@ def print_signal_chain(platform) -> None:
 
 def main() -> None:
     platform = build_example_platform(seed=7)
-    vehicle = platform.vehicle
+    vehicle = platform.vehicle()
 
     print("== the platform (paper Fig. 3) ==")
     print(f"   ECUs: {vehicle.spec.ecus}")
@@ -42,9 +42,10 @@ def main() -> None:
     platform.run(1 * SECOND)
 
     print("== install: server generates contexts and pushes packages ==")
-    result = platform.deploy_remote_control()
-    assert result.ok, result.reasons
-    platform.run(3 * SECOND)
+    deployment = platform.deploy("remote-control")
+    assert deployment.ok, deployment.reasons(vehicle.vin)
+    elapsed = deployment.wait(10 * SECOND)
+    print(f"   both plug-ins ACTIVE after {format_time(elapsed)}")
 
     ecm = vehicle.ecm_pirte
     pirte2 = vehicle.pirte_of("swc2")
@@ -60,8 +61,8 @@ def main() -> None:
     print("== drive session: a sweep of steering angles plus speed steps ==")
     t0 = platform.sim.now
     for step, angle in enumerate(range(-40, 41, 10)):
-        platform.phone.send("Wheels", angle)
-        platform.phone.send("Speed", 20 + step * 5)
+        platform.phone().send("Wheels", angle)
+        platform.phone().send("Speed", 20 + step * 5)
         platform.run(200 * MS)
     platform.run(1 * SECOND)
 

@@ -9,24 +9,83 @@ Reproduction of Ni, Kobetski & Axelsson, DAC 2014.  The package layers:
 * :mod:`repro.core` — the dynamic component model (PIRTE, contexts, ECM).
 * :mod:`repro.server` — the trusted server.
 * :mod:`repro.fes` — vehicles, phones, and fleets (federation layer).
+* :mod:`repro.api` — the declarative public API: compose arbitrary
+  scenarios with :class:`ScenarioBuilder`, operate them through
+  :class:`Platform` and unified :class:`Deployment` handles.
 * :mod:`repro.baselines`, :mod:`repro.workloads`, :mod:`repro.analysis`
   — experiment support.
 
-Quickstart::
+Quickstart (the paper's demonstrator, prebuilt)::
 
-    from repro.fes import build_example_platform
-    from repro.sim import SECOND
+    from repro import SECOND, build_example_platform
 
     platform = build_example_platform()
     platform.boot()
     platform.run(1 * SECOND)
-    platform.deploy_remote_control()
-    platform.run(3 * SECOND)
-    platform.phone.send("Wheels", -25)
+    platform.deploy("remote-control").wait(10 * SECOND)
+    platform.phone().send("Wheels", -25)
     platform.run(1 * SECOND)
     print(platform.actuator_state())
+
+Composing your own scenario::
+
+    from repro import ScenarioBuilder, RelayLink, ServicePort
+
+    scenario = ScenarioBuilder(seed=7).phone("10.0.0.9:4000")
+    car = scenario.vehicle("VIN-42", "my-model")
+    car.ecus("ECU1", "ECU2")
+    car.ecm("swc1", on="ECU1",
+            relays=[RelayLink("swc2", "V0", "V1")])
+    car.plugin_swc("swc2", on="ECU2",
+                   relays=[RelayLink("swc1", "V2", "V3")])
+    platform = scenario.build()
 """
 
-__version__ = "0.1.0"
+from repro.api import (
+    AppBuilder,
+    Deployment,
+    DeploymentTimeout,
+    InstallStatus,
+    Platform,
+    PluginSwcSpec,
+    RelayLink,
+    ScenarioBuilder,
+    ServicePort,
+    VehicleBuilder,
+)
+from repro.fes import (
+    ExamplePlatform,
+    Fleet,
+    Smartphone,
+    build_example_platform,
+    build_fleet,
+    build_fleet_from_specs,
+)
+from repro.sim import MS, SECOND
 
-__all__ = ["__version__"]
+__version__ = "0.2.0"
+
+__all__ = [
+    "__version__",
+    # declarative API
+    "ScenarioBuilder",
+    "VehicleBuilder",
+    "AppBuilder",
+    "Platform",
+    "Deployment",
+    "DeploymentTimeout",
+    "PluginSwcSpec",
+    "RelayLink",
+    "ServicePort",
+    "InstallStatus",
+    # demonstrator + fleets
+    "ExamplePlatform",
+    "Fleet",
+    "Smartphone",
+    "build_example_platform",
+    "build_fleet",
+    "build_fleet_from_specs",
+    # time units
+    "MS",
+    "SECOND",
+]

@@ -1,0 +1,43 @@
+"""Public, declarative API for composing federated scenarios.
+
+This package is the stable front door of the reproduction:
+
+* :class:`ScenarioBuilder` — declare vehicles (any ECU count, plug-in
+  SW-C placements, virtual-port tables, legacy components), apps from
+  plug-in assembly source, phones, and network profiles; ``build()``.
+* :class:`Platform` — the built scenario: boot, run, deploy, observe.
+* :class:`Deployment` — unified handle over every deploy operation:
+  per-vehicle acceptance results, status and ack tracking, and a
+  sim-kernel-driven ``wait(timeout)``.
+
+The commonly needed declaration vocabulary (:class:`RelayLink`,
+:class:`ServicePort`, :class:`PluginSwcSpec`, channel profiles, install
+statuses) is re-exported here so most scenarios import one module.
+"""
+
+from repro.api.builder import AppBuilder, ScenarioBuilder, VehicleBuilder
+from repro.api.deployment import Deployment
+from repro.api.platform import Platform
+from repro.core.plugin_swc import PluginSwcSpec, RelayLink, ServicePort
+from repro.errors import ConfigurationError, DeploymentTimeout
+from repro.network.channel import CELLULAR, WIFI, WIRED, ChannelProfile
+from repro.server.models import App, InstallStatus
+
+__all__ = [
+    "ScenarioBuilder",
+    "VehicleBuilder",
+    "AppBuilder",
+    "Platform",
+    "Deployment",
+    "PluginSwcSpec",
+    "RelayLink",
+    "ServicePort",
+    "ConfigurationError",
+    "DeploymentTimeout",
+    "ChannelProfile",
+    "CELLULAR",
+    "WIFI",
+    "WIRED",
+    "App",
+    "InstallStatus",
+]

@@ -1,0 +1,575 @@
+"""Declarative scenario composition: the package's public front door.
+
+:class:`ScenarioBuilder` lets a user declare an arbitrary federated
+system — vehicles with any number of ECUs, plug-in SW-C placements and
+their virtual-port tables, legacy components, apps compiled from plug-in
+assembly source, phones, and network profiles — and ``build()`` it into
+a running :class:`~repro.api.platform.Platform`.  The paper's two-ECU
+model car becomes a ~40-line declaration instead of a hard-coded module
+(see :mod:`repro.fes.example_platform`, now a thin wrapper).
+
+Typical use::
+
+    from repro.api import ScenarioBuilder
+
+    scenario = ScenarioBuilder(seed=42).phone("1.2.3.4:5")
+    car = scenario.vehicle("VIN-1", "my-model")
+    car.ecus("ECU1", "ECU2")
+    car.ecm("swc1", on="ECU1", relays=[RelayLink("swc2", "V0", "V1")])
+    car.plugin_swc("swc2", on="ECU2",
+                   relays=[RelayLink("swc1", "V2", "V3")],
+                   services=[ServicePort("V4", "cmd", "out", INT16)])
+    app = scenario.app("my-app", "my-model")
+    app.plugin("FWD", source=FWD_SOURCE, ports=("in", "out"), on="swc2")
+    app.virtual("FWD", "out", "V4")
+    platform = scenario.build()
+    platform.boot()
+    platform.deploy("my-app").wait()
+
+All declaration errors (duplicate VINs, placements onto missing ECUs,
+connections to undeclared plug-ins, ...) raise
+:class:`~repro.errors.ConfigurationError` with a precise message, at
+declaration time where possible and at ``build()`` otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Type, Union
+
+from repro.api.platform import Platform
+from repro.autosar.swc import ComponentType
+from repro.core.plugin_swc import PluginSwcSpec, RelayLink, ServicePort
+from repro.errors import ConfigurationError
+from repro.fes.phone import Smartphone
+from repro.fes.vehicle import (
+    LegacyComponent,
+    PluginSwcPlacement,
+    VehicleSpec,
+    build_vehicle,
+)
+from repro.network.channel import CELLULAR, WIFI, ChannelProfile
+from repro.network.sockets import NetworkFabric
+from repro.server.models import (
+    App,
+    ConnectionKind,
+    ConnectionSpec,
+    ExternalSpec,
+    PluginDescriptor,
+    SwConf,
+)
+from repro.server.server import DEFAULT_ADDRESS, TrustedServer
+from repro.sim.kernel import Simulator
+from repro.sim.random import StreamFactory
+from repro.sim.tracing import Tracer
+from repro.vm.loader import compile_plugin
+
+
+class VehicleBuilder:
+    """Declares one vehicle platform: ECUs, SW-Cs, legacy components."""
+
+    def __init__(
+        self, scenario: "ScenarioBuilder", vin: str, model: str
+    ) -> None:
+        self._scenario = scenario
+        self.vin = vin
+        self.model = model
+        self._ecus: list[str] = []
+        self._ecm: Optional[PluginSwcPlacement] = None
+        self._plugin_swcs: list[PluginSwcPlacement] = []
+        self._legacy: list[LegacyComponent] = []
+        self._connectors: list[tuple[str, str, str, str]] = []
+        self._can_bitrate = 500_000
+
+    # -- hardware ------------------------------------------------------------
+
+    def ecu(self, name: str) -> "VehicleBuilder":
+        """Declare one ECU."""
+        if name in self._ecus:
+            raise ConfigurationError(
+                f"vehicle {self.vin}: duplicate ECU {name!r}"
+            )
+        self._ecus.append(name)
+        return self
+
+    def ecus(self, *names: str) -> "VehicleBuilder":
+        """Declare several ECUs at once."""
+        for name in names:
+            self.ecu(name)
+        return self
+
+    def can_bitrate(self, bits_per_second: int) -> "VehicleBuilder":
+        self._can_bitrate = bits_per_second
+        return self
+
+    # -- plug-in SW-Cs -------------------------------------------------------
+
+    def _check_instance_free(self, instance: str) -> None:
+        taken = {p.instance_name for p in self._all_placements()}
+        taken.update(c.instance_name for c in self._legacy)
+        if instance in taken:
+            raise ConfigurationError(
+                f"vehicle {self.vin}: duplicate component instance "
+                f"{instance!r}"
+            )
+
+    def _all_placements(self) -> list[PluginSwcPlacement]:
+        placements = list(self._plugin_swcs)
+        if self._ecm is not None:
+            placements.insert(0, self._ecm)
+        return placements
+
+    def _make_spec(
+        self,
+        instance: str,
+        spec: Optional[PluginSwcSpec],
+        relays: Sequence[RelayLink],
+        services: Sequence[ServicePort],
+        type_name: Optional[str],
+        has_mgmt: bool,
+        spec_kwargs: dict,
+    ) -> PluginSwcSpec:
+        if spec is not None:
+            if relays or services or type_name is not None or spec_kwargs:
+                raise ConfigurationError(
+                    f"SW-C {instance}: pass either a prebuilt spec or "
+                    f"relays/services/type_name/options, not both"
+                )
+            if spec.has_mgmt != has_mgmt:
+                role = "ECM" if not has_mgmt else "plug-in SW-C"
+                raise ConfigurationError(
+                    f"SW-C {instance}: a {role} spec must have "
+                    f"has_mgmt={has_mgmt} (got {spec.has_mgmt})"
+                )
+            return spec.validate()
+        return PluginSwcSpec(
+            type_name or f"{instance.capitalize()}Type",
+            relays=list(relays),
+            services=list(services),
+            has_mgmt=has_mgmt,
+            **spec_kwargs,
+        ).validate()
+
+    def ecm(
+        self,
+        instance: str,
+        on: str,
+        relays: Sequence[RelayLink] = (),
+        services: Sequence[ServicePort] = (),
+        spec: Optional[PluginSwcSpec] = None,
+        type_name: Optional[str] = None,
+        **spec_kwargs,
+    ) -> "VehicleBuilder":
+        """Place the ECM SW-C (exactly one per vehicle) on ECU ``on``.
+
+        The ECM's management traffic goes through the ECC/server link,
+        so its base spec is built with ``has_mgmt=False``.
+        """
+        if self._ecm is not None:
+            raise ConfigurationError(
+                f"vehicle {self.vin}: ECM already declared "
+                f"({self._ecm.instance_name!r})"
+            )
+        self._check_instance_free(instance)
+        built = self._make_spec(
+            instance, spec, relays, services, type_name,
+            has_mgmt=False, spec_kwargs=spec_kwargs,
+        )
+        self._ecm = PluginSwcPlacement(instance, on, built)
+        return self
+
+    def plugin_swc(
+        self,
+        instance: str,
+        on: str,
+        relays: Sequence[RelayLink] = (),
+        services: Sequence[ServicePort] = (),
+        spec: Optional[PluginSwcSpec] = None,
+        type_name: Optional[str] = None,
+        **spec_kwargs,
+    ) -> "VehicleBuilder":
+        """Place one plug-in SW-C on ECU ``on``.
+
+        ``relays`` declare the type II virtual-port pairs toward peer
+        SW-Cs; ``services`` the type III virtual ports into the built-in
+        software.  Extra keyword options (``vm_memory_blocks``,
+        ``dispatch_period_us``, ``fuel_per_activation``, ...) forward to
+        :class:`~repro.core.plugin_swc.PluginSwcSpec`.
+        """
+        self._check_instance_free(instance)
+        built = self._make_spec(
+            instance, spec, relays, services, type_name,
+            has_mgmt=True, spec_kwargs=spec_kwargs,
+        )
+        self._plugin_swcs.append(PluginSwcPlacement(instance, on, built))
+        return self
+
+    def legacy(
+        self,
+        instance: str,
+        ctype: ComponentType,
+        on: str,
+        priority: int = 6,
+    ) -> "VehicleBuilder":
+        """Place a built-in (non-plug-in) component on ECU ``on``."""
+        self._check_instance_free(instance)
+        self._legacy.append(LegacyComponent(instance, ctype, on, priority))
+        return self
+
+    def connect(
+        self, from_instance: str, from_port: str, to_instance: str, to_port: str
+    ) -> "VehicleBuilder":
+        """Wire one SW-C connector (e.g. service port -> legacy port)."""
+        self._connectors.append(
+            (from_instance, from_port, to_instance, to_port)
+        )
+        return self
+
+    def done(self) -> "ScenarioBuilder":
+        """Return to the parent scenario builder."""
+        return self._scenario
+
+    # -- assembly ------------------------------------------------------------
+
+    def to_spec(self, server_address: Optional[str] = None) -> VehicleSpec:
+        """Validate the declaration and produce a :class:`VehicleSpec`."""
+        if not self._ecus:
+            raise ConfigurationError(
+                f"vehicle {self.vin} declares no ECUs"
+            )
+        if self._ecm is None:
+            raise ConfigurationError(
+                f"vehicle {self.vin} declares no ECM placement"
+            )
+        placements = self._all_placements()
+        names = {p.instance_name for p in placements}
+        for placement in placements:
+            if placement.ecu_name not in self._ecus:
+                raise ConfigurationError(
+                    f"vehicle {self.vin}: SW-C "
+                    f"{placement.instance_name!r} placed on unknown ECU "
+                    f"{placement.ecu_name!r}"
+                )
+            for relay in placement.spec.relays:
+                if relay.peer not in names:
+                    raise ConfigurationError(
+                        f"vehicle {self.vin}: SW-C "
+                        f"{placement.instance_name!r} relays to "
+                        f"undeclared peer {relay.peer!r}"
+                    )
+        for legacy in self._legacy:
+            if legacy.ecu_name not in self._ecus:
+                raise ConfigurationError(
+                    f"vehicle {self.vin}: legacy component "
+                    f"{legacy.instance_name!r} placed on unknown ECU "
+                    f"{legacy.ecu_name!r}"
+                )
+        return VehicleSpec(
+            vin=self.vin,
+            model=self.model,
+            ecus=list(self._ecus),
+            ecm=self._ecm,
+            plugin_swcs=list(self._plugin_swcs),
+            legacy=list(self._legacy),
+            connectors=list(self._connectors),
+            server_address=server_address or self._scenario._server_address,
+            can_bitrate=self._can_bitrate,
+        )
+
+
+class AppBuilder:
+    """Declares one APP: plug-ins from source plus its deployment wiring."""
+
+    def __init__(
+        self,
+        scenario: Optional["ScenarioBuilder"],
+        name: str,
+        model: str,
+        version: str = "1.0",
+    ) -> None:
+        self._scenario = scenario
+        self.name = name
+        self.model = model
+        self.version = version
+        self._plugins: dict[str, PluginDescriptor] = {}
+        self._placements: list[tuple[str, str]] = []
+        self._connections: list[ConnectionSpec] = []
+        self._externals: list[ExternalSpec] = []
+        self._dependencies: list[str] = []
+        self._conflicts: list[str] = []
+
+    # -- plug-ins ------------------------------------------------------------
+
+    def plugin(
+        self,
+        name: str,
+        source: Optional[str] = None,
+        ports: Sequence[str] = (),
+        on: str = "",
+        binary: Optional[bytes] = None,
+        mem_hint: int = 16,
+    ) -> "AppBuilder":
+        """Add one plug-in, compiled from assembly ``source`` (or a
+        prebuilt container ``binary``), placed on SW-C instance ``on``.
+        """
+        if name in self._plugins:
+            raise ConfigurationError(
+                f"APP {self.name}: duplicate plug-in {name!r}"
+            )
+        if (source is None) == (binary is None):
+            raise ConfigurationError(
+                f"APP {self.name}: plug-in {name!r} needs exactly one of "
+                f"source or binary"
+            )
+        if not on:
+            raise ConfigurationError(
+                f"APP {self.name}: plug-in {name!r} needs a placement "
+                f"(on=<swc instance>)"
+            )
+        raw = binary if binary is not None else compile_plugin(
+            source, mem_hint=mem_hint
+        ).raw
+        self._plugins[name] = PluginDescriptor(name, raw, tuple(ports))
+        self._placements.append((name, on))
+        return self
+
+    # -- wiring --------------------------------------------------------------
+
+    def _check_port(self, plugin: str, port: str) -> None:
+        descriptor = self._plugins.get(plugin)
+        if descriptor is None:
+            raise ConfigurationError(
+                f"APP {self.name}: connection references undeclared "
+                f"plug-in {plugin!r}"
+            )
+        if port not in descriptor.port_names:
+            raise ConfigurationError(
+                f"APP {self.name}: plug-in {plugin!r} has no port "
+                f"{port!r} (declared: {descriptor.port_names})"
+            )
+
+    def unconnected(self, plugin: str, port: str) -> "AppBuilder":
+        """Declare a PIRTE-direct (unconnected) plug-in port."""
+        self._check_port(plugin, port)
+        self._connections.append(
+            ConnectionSpec(ConnectionKind.UNCONNECTED, plugin, port)
+        )
+        return self
+
+    def wire(
+        self, plugin: str, port: str, to_plugin: str, to_port: str
+    ) -> "AppBuilder":
+        """Connect a plug-in port to another plug-in's port."""
+        self._check_port(plugin, port)
+        self._check_port(to_plugin, to_port)
+        self._connections.append(
+            ConnectionSpec(
+                ConnectionKind.PLUGIN, plugin, port,
+                target_plugin=to_plugin, target_port=to_port,
+            )
+        )
+        return self
+
+    def virtual(self, plugin: str, port: str, virtual: str) -> "AppBuilder":
+        """Connect a plug-in port to a virtual port of its host SW-C."""
+        self._check_port(plugin, port)
+        self._connections.append(
+            ConnectionSpec(
+                ConnectionKind.VIRTUAL, plugin, port, target_virtual=virtual
+            )
+        )
+        return self
+
+    def external(
+        self, endpoint: str, message_name: str, plugin: str, port: str
+    ) -> "AppBuilder":
+        """Route a named external message to/from a plug-in port."""
+        self._check_port(plugin, port)
+        self._externals.append(
+            ExternalSpec(endpoint, message_name, plugin, port)
+        )
+        return self
+
+    def depends_on(self, *app_names: str) -> "AppBuilder":
+        self._dependencies.extend(app_names)
+        return self
+
+    def conflicts_with(self, *app_names: str) -> "AppBuilder":
+        self._conflicts.extend(app_names)
+        return self
+
+    def done(self) -> "ScenarioBuilder":
+        """Finish the APP and return to the parent scenario builder."""
+        if self._scenario is None:
+            raise ConfigurationError(
+                f"APP {self.name} was built standalone; use to_app()"
+            )
+        return self._scenario
+
+    def to_app(self) -> App:
+        """Validate the declaration and produce a server :class:`App`."""
+        if not self._plugins:
+            raise ConfigurationError(
+                f"APP {self.name} declares no plug-ins"
+            )
+        conf = SwConf(
+            model=self.model,
+            placements=tuple(self._placements),
+            connections=tuple(self._connections),
+            externals=tuple(self._externals),
+        )
+        return App(
+            name=self.name,
+            version=self.version,
+            plugins=dict(self._plugins),
+            sw_confs=[conf],
+            dependencies=tuple(self._dependencies),
+            conflicts=tuple(self._conflicts),
+        )
+
+
+class ScenarioBuilder:
+    """Fluent, declarative composition of a whole federated scenario."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        server_address: str = DEFAULT_ADDRESS,
+        default_profile: Optional[ChannelProfile] = None,
+        trace: bool = True,
+    ) -> None:
+        self._seed = seed
+        self._server_address = server_address
+        self._default_profile = default_profile or CELLULAR
+        self._trace = trace
+        self._vehicles: dict[str, Union[VehicleBuilder, VehicleSpec]] = {}
+        self._apps: list[Union[AppBuilder, App]] = []
+        self._phones: dict[str, ChannelProfile] = {}
+        self._users: list[tuple[str, str]] = []
+
+    # -- infrastructure ------------------------------------------------------
+
+    def network(
+        self,
+        default_profile: Optional[ChannelProfile] = None,
+        seed: Optional[int] = None,
+        trace: Optional[bool] = None,
+    ) -> "ScenarioBuilder":
+        """Configure the wide-area fabric: channel profile, seed, trace."""
+        if default_profile is not None:
+            self._default_profile = default_profile
+        if seed is not None:
+            self._seed = seed
+        if trace is not None:
+            self._trace = trace
+        return self
+
+    def server(self, address: str) -> "ScenarioBuilder":
+        """Set the trusted server's pre-defined address."""
+        self._server_address = address
+        return self
+
+    def user(self, user_id: str, name: Optional[str] = None) -> "ScenarioBuilder":
+        """Register a portal user; the first one owns all vehicles."""
+        if any(uid == user_id for uid, __ in self._users):
+            raise ConfigurationError(f"duplicate user {user_id!r}")
+        self._users.append((user_id, name or user_id))
+        return self
+
+    def phone(
+        self, address: str, profile: ChannelProfile = WIFI
+    ) -> "ScenarioBuilder":
+        """Declare an external device listening at ``address``."""
+        if address in self._phones:
+            raise ConfigurationError(f"duplicate phone address {address!r}")
+        self._phones[address] = profile
+        return self
+
+    # -- vehicles ------------------------------------------------------------
+
+    def vehicle(self, vin: str, model: str) -> VehicleBuilder:
+        """Start declaring one vehicle; returns its sub-builder."""
+        if vin in self._vehicles:
+            raise ConfigurationError(f"duplicate VIN {vin!r}")
+        builder = VehicleBuilder(self, vin, model)
+        self._vehicles[vin] = builder
+        return builder
+
+    def add_vehicle_spec(self, spec: VehicleSpec) -> "ScenarioBuilder":
+        """Add a prebuilt :class:`VehicleSpec` (e.g. from a factory)."""
+        if spec.vin in self._vehicles:
+            raise ConfigurationError(f"duplicate VIN {spec.vin!r}")
+        self._vehicles[spec.vin] = spec
+        return self
+
+    # -- apps ----------------------------------------------------------------
+
+    def app(self, name: str, model: str, version: str = "1.0") -> AppBuilder:
+        """Start declaring one APP; returns its sub-builder."""
+        if any(existing.name == name for existing in self._apps):
+            raise ConfigurationError(f"duplicate APP {name!r}")
+        builder = AppBuilder(self, name, model, version)
+        self._apps.append(builder)
+        return builder
+
+    def add_app(self, app: App) -> "ScenarioBuilder":
+        """Add a prebuilt server :class:`App` for upload at build time."""
+        if any(existing.name == app.name for existing in self._apps):
+            raise ConfigurationError(f"duplicate APP {app.name!r}")
+        self._apps.append(app)
+        return self
+
+    # -- build ---------------------------------------------------------------
+
+    def vehicle_specs(self) -> list[VehicleSpec]:
+        """All declared vehicles as validated :class:`VehicleSpec`s."""
+        return [
+            entry.to_spec(self._server_address)
+            if isinstance(entry, VehicleBuilder)
+            else entry
+            for entry in self._vehicles.values()
+        ]
+
+    def build(self, platform_cls: Type[Platform] = Platform) -> Platform:
+        """Assemble everything on one simulator; returns the platform.
+
+        Construction order mirrors the hand-written assembly the
+        builder replaces: fabric and server first, then phones, then
+        vehicles (each registered and bound to the owning user as it is
+        built), then APP uploads.  Nothing is booted — call
+        ``platform.boot()`` (or ``Deployment.wait``, which boots).
+        """
+        specs = self.vehicle_specs()  # validate before constructing
+        sim = Simulator()
+        tracer = Tracer(enabled=self._trace)
+        fabric = NetworkFabric(
+            sim,
+            StreamFactory(self._seed),
+            tracer=tracer,
+            default_profile=self._default_profile,
+        )
+        server = TrustedServer(fabric, self._server_address)
+        users = self._users or [("user-1", "Default User")]
+        owner = users[0][0]
+        for user_id, name in users:
+            server.web.create_user(user_id, name)
+        phones = {}
+        for address, profile in self._phones.items():
+            phones[address] = Smartphone(fabric, address, sim)
+            fabric.set_listener_profile(address, profile)
+        vehicles = []
+        for spec in specs:
+            vehicle = build_vehicle(spec, fabric, sim=sim, tracer=tracer)
+            vehicles.append(vehicle)
+            hw, system_sw = spec.describe_for_server()
+            server.web.register_vehicle(spec.vin, spec.model, hw, system_sw)
+            server.web.bind_vehicle(owner, spec.vin)
+        for entry in self._apps:
+            app = entry.to_app() if isinstance(entry, AppBuilder) else entry
+            server.web.upload_app(app)
+        return platform_cls(
+            sim, tracer, fabric, server,
+            vehicles=vehicles, phones=phones, user_id=owner,
+        )
+
+
+__all__ = ["ScenarioBuilder", "VehicleBuilder", "AppBuilder"]

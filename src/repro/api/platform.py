@@ -1,0 +1,190 @@
+"""Built platforms: server + phones + vehicles on one simulator.
+
+A :class:`Platform` is what :meth:`~repro.api.builder.ScenarioBuilder.build`
+returns: every declared vehicle, phone, and app assembled on one shared
+discrete-event simulator and wide-area network fabric.  It generalizes
+the old hard-coded ``ExamplePlatform`` (one car) and ``Fleet`` (N clones
+of that car) — both are now thin subclasses — and supports heterogeneous
+vehicle populations (mixed ECU counts, different models) in one build.
+
+Deploy operations return :class:`~repro.api.deployment.Deployment`
+handles instead of raw ``OperationResult`` lists.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.api.deployment import Deployment
+from repro.errors import ConfigurationError, UnknownEntityError
+from repro.fes.phone import Smartphone
+from repro.fes.vehicle import Vehicle
+from repro.network.sockets import NetworkFabric
+from repro.server.models import InstallStatus
+from repro.server.server import TrustedServer
+from repro.sim.kernel import Simulator
+from repro.sim.tracing import Tracer
+
+
+class Platform:
+    """A built scenario, bootable and deployable.
+
+    ``boot()`` is guarded by a ``_booted`` flag so repeated ``boot()``
+    (or ``run()`` on fleets) never re-boots already-running vehicles.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        tracer: Tracer,
+        fabric: NetworkFabric,
+        server: TrustedServer,
+        vehicles: Optional[list[Vehicle]] = None,
+        phones: Optional[dict[str, Smartphone]] = None,
+        user_id: str = "user-1",
+    ) -> None:
+        self.sim = sim
+        self.tracer = tracer
+        self.fabric = fabric
+        self.server = server
+        self.vehicles: list[Vehicle] = list(vehicles or [])
+        self.phones: dict[str, Smartphone] = dict(phones or {})
+        self.user_id = user_id
+        self._booted = False
+
+    # -- lookups -------------------------------------------------------------
+
+    @property
+    def web(self):
+        """The trusted server's web-services facade."""
+        return self.server.web
+
+    @property
+    def vins(self) -> list[str]:
+        return [vehicle.vin for vehicle in self.vehicles]
+
+    def _vehicle(self, vin: Optional[str] = None) -> Vehicle:
+        """Internal lookup (subclasses may shadow :meth:`vehicle`)."""
+        if vin is None:
+            if not self.vehicles:
+                raise ConfigurationError("platform has no vehicles")
+            return self.vehicles[0]
+        for vehicle in self.vehicles:
+            if vehicle.vin == vin:
+                return vehicle
+        raise UnknownEntityError(f"platform has no vehicle {vin!r}")
+
+    def vehicle(self, vin: Optional[str] = None) -> Vehicle:
+        """A built vehicle by VIN (the first one when ``vin`` is None)."""
+        return self._vehicle(vin)
+
+    def phone(self, address: Optional[str] = None) -> Smartphone:
+        """A phone by address (the first one when ``address`` is None)."""
+        if address is None:
+            if not self.phones:
+                raise ConfigurationError("platform has no phones")
+            return next(iter(self.phones.values()))
+        try:
+            return self.phones[address]
+        except KeyError:
+            raise UnknownEntityError(
+                f"platform has no phone at {address!r}"
+            ) from None
+
+    # -- life cycle ----------------------------------------------------------
+
+    def boot(self) -> None:
+        """Boot every vehicle once; subsequent calls are no-ops."""
+        if self._booted:
+            return
+        for vehicle in self.vehicles:
+            vehicle.boot()
+        self._booted = True
+
+    def run(self, duration_us: int) -> None:
+        """Boot if needed, then advance shared simulated time."""
+        self.boot()
+        self.sim.run_for(duration_us)
+
+    # -- deployment ----------------------------------------------------------
+
+    def deploy(
+        self,
+        app_name: str,
+        vin: Optional[str] = None,
+        user_id: Optional[str] = None,
+    ) -> Deployment:
+        """Request installation of ``app_name``; returns a handle.
+
+        With ``vin`` the request targets one vehicle; without it, every
+        vehicle on the platform (a fleet campaign).
+        """
+        vins = [self._vehicle(vin).vin] if vin is not None else self.vins
+        user = user_id or self.user_id
+        results = {
+            target: self.web.deploy(user, target, app_name)
+            for target in vins
+        }
+        return Deployment(self, app_name, results)
+
+    def deploy_everywhere(self, app_name: str) -> Deployment:
+        """Request installation of ``app_name`` on every vehicle."""
+        return self.deploy(app_name)
+
+    def uninstall(
+        self,
+        app_name: str,
+        vin: Optional[str] = None,
+        user_id: Optional[str] = None,
+    ):
+        """Request removal of ``app_name`` from one vehicle."""
+        target = self._vehicle(vin).vin
+        return self.web.uninstall(user_id or self.user_id, target, app_name)
+
+    def installation_status(
+        self, vin: str, app_name: str
+    ) -> Optional[InstallStatus]:
+        return self.web.installation_status(vin, app_name)
+
+    def active_count(self, app_name: str) -> int:
+        """Vehicles on which ``app_name`` is fully installed and acked."""
+        return sum(
+            1
+            for vehicle in self.vehicles
+            if self.web.installation_status(vehicle.vin, app_name)
+            is InstallStatus.ACTIVE
+        )
+
+    def run_until_active(
+        self, app_name: str, timeout_us: int, step_us: int = 50_000
+    ) -> int:
+        """Advance time until all installs acked; returns elapsed us.
+
+        Legacy polling interface kept for experiments that deploy
+        through the raw web services; new code should use
+        :meth:`deploy` and :meth:`Deployment.wait` instead.
+        """
+        self.boot()
+        start = self.sim.now
+        while self.sim.now - start < timeout_us:
+            self.sim.run_for(step_us)
+            if self.active_count(app_name) == len(self.vehicles):
+                return self.sim.now - start
+        return -1
+
+    # -- observation ---------------------------------------------------------
+
+    def actuator_state(
+        self, instance: str = "actuators", vin: Optional[str] = None
+    ) -> dict:
+        """The state dict of a legacy component on one vehicle."""
+        return self._vehicle(vin).system.instance(instance).state
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} vehicles={len(self.vehicles)} "
+            f"phones={len(self.phones)} booted={self._booted}>"
+        )
+
+
+__all__ = ["Platform"]

@@ -61,23 +61,36 @@ from repro.vm.machine import Vm
 
 
 class _Bridge:
-    """Per-plug-in VM port bridge wired into the PIRTE router."""
+    """Per-plug-in VM port bridge wired into the PIRTE router.
+
+    Port indices come straight from plug-in bytecode (WRPORT/RDPORT/
+    RECV operands), so an index beyond the PIC is a plug-in fault, not a
+    platform fault: it must trap the activation (best-effort contract)
+    rather than escape the PIRTE as a raw :class:`LifecycleError`.
+    """
 
     def __init__(self, pirte: "Pirte", plugin: Plugin) -> None:
         self._pirte = pirte
         self._plugin = plugin
 
+    def _port(self, index: int):
+        try:
+            return self._plugin.port_by_local(index)
+        except LifecycleError as exc:
+            raise VmTrap(str(exc)) from None
+
     def read_port(self, index: int) -> int:
-        return self._plugin.port_by_local(index).last_value
+        return self._port(index).last_value
 
     def write_port(self, index: int, value: int) -> None:
+        self._port(index)  # bounds check before routing
         self._pirte.plugin_write(self._plugin, index, value)
 
     def pending(self, index: int) -> int:
-        return self._plugin.port_by_local(index).pending()
+        return self._port(index).pending()
 
     def receive(self, index: int) -> int:
-        return self._plugin.port_by_local(index).pop()
+        return self._port(index).pop()
 
 
 class Pirte:

@@ -102,6 +102,34 @@ class PluginSwcSpec:
     vm_block_size: int = 64
     fuel_per_activation: int = 20_000
 
+    def validate(self) -> "PluginSwcSpec":
+        """Reject colliding virtual-port or SW-C port names eagerly.
+
+        Without this, a duplicate virtual port only surfaces as a
+        :class:`~repro.errors.ContextError` when the PIRTE is created at
+        ECU boot — far from the declaration that caused it.
+        """
+        virtuals: set[str] = set()
+        swc_ports: set[str] = set()
+
+        def claim(seen: set[str], name: str, what: str) -> None:
+            if name in seen:
+                raise ConfigurationError(
+                    f"SW-C type {self.type_name}: duplicate {what} "
+                    f"{name!r}"
+                )
+            seen.add(name)
+
+        for relay in self.relays:
+            claim(virtuals, relay.out_virtual, "virtual port")
+            claim(virtuals, relay.in_virtual, "virtual port")
+            claim(swc_ports, relay.resolved_out_port(), "SW-C port")
+            claim(swc_ports, relay.resolved_in_port(), "SW-C port")
+        for service in self.services:
+            claim(virtuals, service.virtual, "virtual port")
+            claim(swc_ports, service.swc_port, "SW-C port")
+        return self
+
 
 def _service_interface(service: ServicePort) -> SenderReceiverInterface:
     # Queued semantics in both directions: provided ports hold no buffer

@@ -139,3 +139,7 @@ class CompatibilityError(ServerError):
 
 class DependencyError(ServerError):
     """Plug-in dependency or conflict constraints were violated."""
+
+
+class DeploymentTimeout(ReproError):
+    """A deployment did not resolve within the simulated time budget."""

@@ -12,43 +12,30 @@ hardware.  The remote-control APP consists of two plug-ins:
   software through service virtual ports V4 (WheelsReq) and V5
   (SpeedReq); V6 (SpeedProv) is provisioned but unused, exactly as in
   the paper.
+
+Since the introduction of :mod:`repro.api`, this module is a thin
+declaration on top of :class:`~repro.api.ScenarioBuilder` — the car is
+~40 lines of declarative spec rather than hand assembly, and the same
+builder composes arbitrary other vehicles and fleets.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.api.builder import AppBuilder, ScenarioBuilder, VehicleBuilder
+from repro.api.platform import Platform
 from repro.autosar.events import DataReceivedEvent
 from repro.autosar.interfaces import DataElement, SenderReceiverInterface
 from repro.autosar.ports import provided_port, required_port
 from repro.autosar.runnable import Runnable
 from repro.autosar.swc import ComponentType
 from repro.autosar.types import INT16
-from repro.core.plugin_swc import PluginSwcSpec, RelayLink, ServicePort
-from repro.fes.phone import Smartphone
-from repro.fes.vehicle import (
-    LegacyComponent,
-    PluginSwcPlacement,
-    Vehicle,
-    VehicleSpec,
-    build_vehicle,
-)
-from repro.network.channel import CELLULAR, WIFI, ChannelProfile
-from repro.network.sockets import NetworkFabric
-from repro.server.models import (
-    App,
-    ConnectionKind,
-    ConnectionSpec,
-    ExternalSpec,
-    PluginDescriptor,
-    SwConf,
-)
-from repro.server.server import TrustedServer
-from repro.sim.kernel import Simulator
-from repro.sim.random import StreamFactory
-from repro.sim.tracing import Tracer
-from repro.vm.loader import compile_plugin
+from repro.core.plugin_swc import RelayLink, ServicePort
+from repro.fes.vehicle import VehicleSpec
+from repro.network.channel import WIFI, ChannelProfile
+from repro.server.models import App
+from repro.server.server import DEFAULT_ADDRESS
 
 MODEL = "model-car-rpi"
 PHONE_ADDRESS = "111.22.33.44:56789"
@@ -128,124 +115,83 @@ def _clamp_int16(value: int) -> int:
     return max(-32768, min(32767, value))
 
 
-def make_example_vehicle_spec(
-    vin: str = "VIN-0001",
-    server_address: str = "trusted-server.oem.example:7000",
-) -> VehicleSpec:
-    """The Fig. 3 vehicle: ECM on ECU1, plug-in SW-C on ECU2."""
-    ecm_spec = PluginSwcSpec(
-        "EcmSwc",
+def declare_example_vehicle(
+    builder: VehicleBuilder,
+) -> VehicleBuilder:
+    """The Fig. 3 car as a declaration: ECM on ECU1, plug-in SW-C on ECU2."""
+    builder.ecus("ECU1", "ECU2")
+    builder.ecm(
+        "swc1", on="ECU1", type_name="EcmSwc",
         relays=[RelayLink(peer="swc2", out_virtual="V0", in_virtual="V1")],
-        has_mgmt=False,
     )
-    swc2_spec = PluginSwcSpec(
-        "PluginSwc2",
+    builder.plugin_swc(
+        "swc2", on="ECU2", type_name="PluginSwc2",
         relays=[RelayLink(peer="swc1", out_virtual="V2", in_virtual="V3")],
         services=[
-            ServicePort(
-                "V4", "wheels_req", "out", INT16, to_wire=_clamp_int16
-            ),
-            ServicePort(
-                "V5", "speed_req", "out", INT16, to_wire=_clamp_int16
-            ),
+            ServicePort("V4", "wheels_req", "out", INT16, to_wire=_clamp_int16),
+            ServicePort("V5", "speed_req", "out", INT16, to_wire=_clamp_int16),
             ServicePort("V6", "speed_prov", "in", INT16),
         ],
     )
-    return VehicleSpec(
-        vin=vin,
-        model=MODEL,
-        ecus=["ECU1", "ECU2"],
-        ecm=PluginSwcPlacement("swc1", "ECU1", ecm_spec),
-        plugin_swcs=[PluginSwcPlacement("swc2", "ECU2", swc2_spec)],
-        legacy=[
-            LegacyComponent("actuators", make_car_actuators_type(), "ECU2"),
-        ],
-        connectors=[
-            ("swc2", "wheels_req", "actuators", "wheels_in"),
-            ("swc2", "speed_req", "actuators", "speed_in"),
-            ("actuators", "speed_out", "swc2", "speed_prov"),
-        ],
-        server_address=server_address,
+    builder.legacy("actuators", make_car_actuators_type(), on="ECU2")
+    builder.connect("swc2", "wheels_req", "actuators", "wheels_in")
+    builder.connect("swc2", "speed_req", "actuators", "speed_in")
+    builder.connect("actuators", "speed_out", "swc2", "speed_prov")
+    return builder
+
+
+def make_example_vehicle_spec(
+    vin: str = "VIN-0001",
+    server_address: str = DEFAULT_ADDRESS,
+) -> VehicleSpec:
+    """The Fig. 3 vehicle spec, produced through the declarative builder."""
+    scenario = ScenarioBuilder(server_address=server_address)
+    return declare_example_vehicle(scenario.vehicle(vin, MODEL)).to_spec()
+
+
+def declare_remote_control_app(
+    builder: AppBuilder, phone_address: str = PHONE_ADDRESS
+) -> AppBuilder:
+    """The two-plug-in remote-control APP as a declaration."""
+    builder.plugin(
+        "COM", source=COM_SOURCE, mem_hint=8, on="swc1",
+        ports=("cmd_wheels", "cmd_speed", "out_wheels", "out_speed"),
     )
+    builder.plugin(
+        "OP", source=OP_SOURCE, mem_hint=8, on="swc2",
+        ports=("in_wheels", "in_speed", "act_wheels", "act_speed"),
+    )
+    builder.unconnected("COM", "cmd_wheels")
+    builder.unconnected("COM", "cmd_speed")
+    builder.wire("COM", "out_wheels", "OP", "in_wheels")
+    builder.wire("COM", "out_speed", "OP", "in_speed")
+    builder.virtual("OP", "act_wheels", "V4")
+    builder.virtual("OP", "act_speed", "V5")
+    builder.external(phone_address, "Wheels", "COM", "cmd_wheels")
+    builder.external(phone_address, "Speed", "COM", "cmd_speed")
+    return builder
 
 
 def make_remote_control_app(
     phone_address: str = PHONE_ADDRESS, version: str = "1.0"
 ) -> App:
-    """The two-plug-in remote-control APP with its deployment descriptor."""
-    com = PluginDescriptor(
-        "COM",
-        compile_plugin(COM_SOURCE, mem_hint=8).raw,
-        ("cmd_wheels", "cmd_speed", "out_wheels", "out_speed"),
-    )
-    op = PluginDescriptor(
-        "OP",
-        compile_plugin(OP_SOURCE, mem_hint=8).raw,
-        ("in_wheels", "in_speed", "act_wheels", "act_speed"),
-    )
-    conf = SwConf(
-        model=MODEL,
-        placements=(("COM", "swc1"), ("OP", "swc2")),
-        connections=(
-            ConnectionSpec(ConnectionKind.UNCONNECTED, "COM", "cmd_wheels"),
-            ConnectionSpec(ConnectionKind.UNCONNECTED, "COM", "cmd_speed"),
-            ConnectionSpec(
-                ConnectionKind.PLUGIN, "COM", "out_wheels",
-                target_plugin="OP", target_port="in_wheels",
-            ),
-            ConnectionSpec(
-                ConnectionKind.PLUGIN, "COM", "out_speed",
-                target_plugin="OP", target_port="in_speed",
-            ),
-            ConnectionSpec(
-                ConnectionKind.VIRTUAL, "OP", "act_wheels",
-                target_virtual="V4",
-            ),
-            ConnectionSpec(
-                ConnectionKind.VIRTUAL, "OP", "act_speed",
-                target_virtual="V5",
-            ),
-        ),
-        externals=(
-            ExternalSpec(phone_address, "Wheels", "COM", "cmd_wheels"),
-            ExternalSpec(phone_address, "Speed", "COM", "cmd_speed"),
-        ),
-    )
-    return App(
-        name="remote-control",
-        version=version,
-        plugins={"COM": com, "OP": op},
-        sw_confs=[conf],
-    )
+    """The remote-control APP with its deployment descriptor."""
+    builder = AppBuilder(None, "remote-control", MODEL, version)
+    return declare_remote_control_app(builder, phone_address).to_app()
 
 
-@dataclass
-class ExamplePlatform:
-    """The full Fig. 3 federated system, assembled and bootable."""
+class ExamplePlatform(Platform):
+    """The full Fig. 3 federated system, assembled and bootable.
 
-    sim: Simulator
-    tracer: Tracer
-    fabric: NetworkFabric
-    server: TrustedServer
-    phone: Smartphone
-    vehicle: Vehicle
-    user_id: str = "user-1"
-
-    def boot(self) -> None:
-        """Boot the vehicle and let the ECM connect to the server."""
-        self.vehicle.boot()
-
-    def run(self, duration_us: int) -> None:
-        self.vehicle.run(duration_us)
+    A single-vehicle :class:`~repro.api.Platform`: ``vehicle()`` and
+    ``phone()`` (no arguments) return the one car and the one phone.
+    """
 
     def deploy_remote_control(self):
         """Trigger the install through the server's web services."""
-        return self.server.web.deploy(
-            self.user_id, self.vehicle.vin, "remote-control"
+        return self.web.deploy(
+            self.user_id, self.vehicle().vin, "remote-control"
         )
-
-    def actuator_state(self) -> dict:
-        return self.vehicle.system.instance("actuators").state
 
 
 def build_example_platform(
@@ -254,26 +200,21 @@ def build_example_platform(
     cellular_profile: Optional[ChannelProfile] = None,
     trace: bool = True,
 ) -> ExamplePlatform:
-    """Build the complete demonstrator: server + phone + vehicle."""
-    sim = Simulator()
-    tracer = Tracer(enabled=trace)
-    fabric = NetworkFabric(sim, StreamFactory(seed), tracer=tracer)
-    server_address = "trusted-server.oem.example:7000"
-    # The server listens on the cellular profile; the phone on Wi-Fi.
-    fabric.default_profile = cellular_profile or CELLULAR
-    server = TrustedServer(fabric, server_address)
-    phone = Smartphone(fabric, phone_address, sim)
-    fabric.set_listener_profile(phone_address, WIFI)
-    spec = make_example_vehicle_spec(server_address=server_address)
-    vehicle = build_vehicle(spec, fabric, sim=sim, tracer=tracer)
-    platform = ExamplePlatform(sim, tracer, fabric, server, phone, vehicle)
-    # OEM + user setup on the server.
-    hw, system_sw = spec.describe_for_server()
-    server.web.register_vehicle(spec.vin, spec.model, hw, system_sw)
-    server.web.create_user(platform.user_id, "Example User")
-    server.web.bind_vehicle(platform.user_id, spec.vin)
-    server.web.upload_app(make_remote_control_app(phone_address))
-    return platform
+    """Build the complete demonstrator: server + phone + vehicle.
+
+    Thin wrapper over :class:`~repro.api.ScenarioBuilder`.
+    """
+    scenario = ScenarioBuilder(
+        seed=seed, default_profile=cellular_profile, trace=trace
+    )
+    scenario.server(DEFAULT_ADDRESS)
+    scenario.user("user-1", "Example User")
+    scenario.phone(phone_address, WIFI)
+    declare_example_vehicle(scenario.vehicle("VIN-0001", MODEL))
+    declare_remote_control_app(
+        scenario.app("remote-control", MODEL), phone_address
+    )
+    return scenario.build(platform_cls=ExamplePlatform)
 
 
 __all__ = [
@@ -282,7 +223,9 @@ __all__ = [
     "COM_SOURCE",
     "OP_SOURCE",
     "make_car_actuators_type",
+    "declare_example_vehicle",
     "make_example_vehicle_spec",
+    "declare_remote_control_app",
     "make_remote_control_app",
     "ExamplePlatform",
     "build_example_platform",

@@ -1,72 +1,38 @@
 """Fleets: many vehicles federated through one trusted server.
 
-Used by the OTA-deployment experiments: build N copies of the example
-vehicle on one simulator, deploy an APP to all of them, and observe the
-per-vehicle completion times on the shared server.
+Used by the OTA-deployment experiments: declare N vehicles (identical
+or heterogeneous — mixed ECU counts and models are fine) on one
+simulator, deploy an APP to all of them, and track the per-vehicle
+completion through the returned
+:class:`~repro.api.deployment.Deployment` handle.
+
+Built on :class:`~repro.api.ScenarioBuilder`; :func:`build_fleet` keeps
+the historical convenience signature (size + optional spec factory).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Iterable, Optional
 
+from repro.api.builder import ScenarioBuilder
+from repro.api.platform import Platform
 from repro.fes.example_platform import make_example_vehicle_spec
-from repro.fes.vehicle import Vehicle, VehicleSpec, build_vehicle
-from repro.network.channel import CELLULAR, ChannelProfile
-from repro.network.sockets import NetworkFabric
-from repro.server.models import InstallStatus
-from repro.server.server import TrustedServer
-from repro.sim.kernel import Simulator
-from repro.sim.random import StreamFactory
-from repro.sim.tracing import Tracer
+from repro.fes.vehicle import VehicleSpec
+from repro.network.channel import ChannelProfile
+from repro.server.server import DEFAULT_ADDRESS
 
 
-@dataclass
-class Fleet:
-    """N vehicles + one trusted server on one simulator."""
+class Fleet(Platform):
+    """N vehicles + one trusted server on one simulator.
 
-    sim: Simulator
-    tracer: Tracer
-    fabric: NetworkFabric
-    server: TrustedServer
-    vehicles: list[Vehicle]
-    user_id: str = "fleet-admin"
-
-    def boot(self) -> None:
-        for vehicle in self.vehicles:
-            vehicle.boot()
+    ``run()`` boots lazily and exactly once (the ``_booted`` guard in
+    :class:`Platform`), so repeated ``run()`` calls never re-boot
+    already-running vehicles.
+    """
 
     def run(self, duration_us: int) -> None:
         self.boot()
         self.sim.run_for(duration_us)
-
-    def deploy_everywhere(self, app_name: str) -> list:
-        """Request installation of ``app_name`` on every vehicle."""
-        return [
-            self.server.web.deploy(self.user_id, vehicle.vin, app_name)
-            for vehicle in self.vehicles
-        ]
-
-    def active_count(self, app_name: str) -> int:
-        """Vehicles on which ``app_name`` is fully installed and acked."""
-        count = 0
-        for vehicle in self.vehicles:
-            status = self.server.web.installation_status(vehicle.vin, app_name)
-            if status is InstallStatus.ACTIVE:
-                count += 1
-        return count
-
-    def run_until_active(
-        self, app_name: str, timeout_us: int, step_us: int = 50_000
-    ) -> int:
-        """Advance time until all installs acked; returns elapsed us."""
-        self.boot()
-        start = self.sim.now
-        while self.sim.now - start < timeout_us:
-            self.sim.run_for(step_us)
-            if self.active_count(app_name) == len(self.vehicles):
-                return self.sim.now - start
-        return -1
 
 
 def build_fleet(
@@ -76,29 +42,44 @@ def build_fleet(
     cellular_profile: Optional[ChannelProfile] = None,
     trace: bool = False,
 ) -> Fleet:
-    """Build ``size`` example vehicles registered on one server."""
-    sim = Simulator()
-    tracer = Tracer(enabled=trace)
-    fabric = NetworkFabric(
-        sim, StreamFactory(seed), tracer=tracer,
-        default_profile=cellular_profile or CELLULAR,
-    )
-    address = "trusted-server.oem.example:7000"
-    server = TrustedServer(fabric, address)
+    """Build ``size`` example vehicles registered on one server.
+
+    ``spec_factory(vin, server_address)`` may return a different
+    :class:`VehicleSpec` per VIN, so one fleet can mix vehicle models
+    and ECU counts.
+    """
     factory = spec_factory or (
         lambda vin, addr: make_example_vehicle_spec(vin, server_address=addr)
     )
-    fleet = Fleet(sim, tracer, fabric, server, [])
-    server.web.create_user(fleet.user_id, "Fleet Admin")
+    scenario = ScenarioBuilder(
+        seed=seed,
+        server_address=DEFAULT_ADDRESS,
+        default_profile=cellular_profile,
+        trace=trace,
+    )
+    scenario.user("fleet-admin", "Fleet Admin")
     for index in range(size):
-        vin = f"VIN-{index:04d}"
-        spec = factory(vin, address)
-        vehicle = build_vehicle(spec, fabric, sim=sim, tracer=tracer)
-        fleet.vehicles.append(vehicle)
-        hw, system_sw = spec.describe_for_server()
-        server.web.register_vehicle(vin, spec.model, hw, system_sw)
-        server.web.bind_vehicle(fleet.user_id, vin)
-    return fleet
+        scenario.add_vehicle_spec(factory(f"VIN-{index:04d}", DEFAULT_ADDRESS))
+    return scenario.build(platform_cls=Fleet)
 
 
-__all__ = ["Fleet", "build_fleet"]
+def build_fleet_from_specs(
+    specs: Iterable[VehicleSpec],
+    seed: int = 0,
+    cellular_profile: Optional[ChannelProfile] = None,
+    trace: bool = False,
+) -> Fleet:
+    """Build a (possibly heterogeneous) fleet from explicit specs."""
+    scenario = ScenarioBuilder(
+        seed=seed,
+        server_address=DEFAULT_ADDRESS,
+        default_profile=cellular_profile,
+        trace=trace,
+    )
+    scenario.user("fleet-admin", "Fleet Admin")
+    for spec in specs:
+        scenario.add_vehicle_spec(spec)
+    return scenario.build(platform_cls=Fleet)
+
+
+__all__ = ["Fleet", "build_fleet", "build_fleet_from_specs"]

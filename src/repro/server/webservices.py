@@ -301,6 +301,22 @@ class WebServices:
         installed = self.db.installation(vin, app_name)
         return installed.status if installed else None
 
+    def installation_progress(
+        self, vin: str, app_name: str
+    ) -> tuple[int, int]:
+        """``(acked, total)`` plug-in acknowledgements for one install.
+
+        ``(0, 0)`` when no installation record exists (never deployed,
+        or fully uninstalled).
+        """
+        installed = self.db.installation(vin, app_name)
+        if installed is None:
+            return (0, 0)
+        return (
+            sum(1 for record in installed.plugins if record.acked),
+            len(installed.plugins),
+        )
+
     def vehicle_health(self, vin: str) -> dict[str, msg.DiagMessage]:
         """Latest diagnostic report per plug-in SW-C of ``vin``."""
         return dict(self.db.vehicle(vin).health)

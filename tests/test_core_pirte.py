@@ -513,3 +513,45 @@ class TestTypeIIRouting:
         assert sorted(system.instance("sink").state.get("got", [])) == [
             1000 + i for i in range(n)
         ]
+
+
+class TestBridgePortBounds:
+    """VM port indices beyond the PIC trap, per the best-effort contract."""
+
+    def _host(self):
+        spec = PluginSwcSpec(
+            "BoundsHost",
+            services=[ServicePort("VOUT", "svc_out", "out", UINT16)],
+        )
+        desc = SystemDescription("bounds")
+        desc.add_ecu("ecu1")
+        desc.add_component("host", make_plugin_swc_type(spec), "ecu1")
+        system = build_system(desc)
+        system.boot_all()
+        system.sim.run_for(5 * MS)
+        return get_pirte(system.instance("host"))
+
+    def test_out_of_range_wrport_traps_activation(self):
+        pirte = self._host()
+        rogue = make_install(
+            "rogue", "ecu1", "host",
+            ports=[("in", 0)], links=[link_unconnected(0)],
+            source=".entry on_message\n    WRPORT 9\n    HALT\n",
+        )
+        assert pirte.install(rogue).ok
+        pirte.deliver_to_port(0, 42)
+        pirte.step()  # must not leak a LifecycleError
+        assert pirte.trapped_activations == 1
+        assert pirte.plugin("rogue").failed_activations == 1
+
+    def test_out_of_range_recv_traps_activation(self):
+        pirte = self._host()
+        rogue = make_install(
+            "rogue", "ecu1", "host",
+            ports=[("in", 0)], links=[link_unconnected(0)],
+            source=".entry on_message\n    RECV 7\n    HALT\n",
+        )
+        assert pirte.install(rogue).ok
+        pirte.deliver_to_port(0, 1)
+        pirte.step()
+        assert pirte.trapped_activations == 1

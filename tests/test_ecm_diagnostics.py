@@ -34,7 +34,7 @@ class TestDiagMessage:
 
 class TestDiagnosticsPath:
     def test_pirte_report_contents(self, deployed):
-        pirte2 = deployed.vehicle.pirte_of("swc2")
+        pirte2 = deployed.vehicle().pirte_of("swc2")
         report = pirte2.diagnostic_report()
         assert report.source_swc == "swc2"
         assert report.source_ecu == "ECU2"
@@ -45,7 +45,7 @@ class TestDiagnosticsPath:
 
     def test_remote_swc_diag_reaches_server(self, deployed):
         """swc2 -> type I -> ECM -> cellular -> server health table."""
-        pirte2 = deployed.vehicle.pirte_of("swc2")
+        pirte2 = deployed.vehicle().pirte_of("swc2")
         pirte2.emit_diagnostics()
         deployed.run(2 * SECOND)
         health = deployed.server.web.vehicle_health("VIN-0001")
@@ -53,23 +53,23 @@ class TestDiagnosticsPath:
         assert health["swc2"].plugins[0].plugin_name == "OP"
 
     def test_ecm_diag_reaches_server_directly(self, deployed):
-        deployed.vehicle.ecm_pirte.emit_diagnostics()
+        deployed.vehicle().ecm_pirte.emit_diagnostics()
         deployed.run(2 * SECOND)
         health = deployed.server.web.vehicle_health("VIN-0001")
         assert "swc1" in health
         assert health["swc1"].plugins[0].plugin_name == "COM"
 
     def test_health_reflects_activity(self, deployed):
-        deployed.phone.send("Wheels", 5)
+        deployed.phone().send("Wheels", 5)
         deployed.run(1 * SECOND)
-        deployed.vehicle.ecm_pirte.emit_diagnostics()
+        deployed.vehicle().ecm_pirte.emit_diagnostics()
         deployed.run(2 * SECOND)
         health = deployed.server.web.vehicle_health("VIN-0001")
         assert health["swc1"].plugins[0].activations >= 1
 
     def test_health_updated_not_appended(self, deployed):
         for __ in range(3):
-            deployed.vehicle.ecm_pirte.emit_diagnostics()
+            deployed.vehicle().ecm_pirte.emit_diagnostics()
             deployed.run(1 * SECOND)
         health = deployed.server.web.vehicle_health("VIN-0001")
         assert len(health) == 1  # latest report per SW-C, not a log
@@ -78,7 +78,7 @@ class TestDiagnosticsPath:
 class TestEcmRouting:
     def test_forward_to_unknown_swc_nacks_server(self, deployed):
         """A package addressed to a SW-C the ECM cannot reach."""
-        ecm = deployed.vehicle.ecm_pirte
+        ecm = deployed.vehicle().ecm_pirte
         install = msg.InstallMessage(
             "ghost", "1.0", "ECU9", "ghost_swc",
             pic=__import__("repro.core.context", fromlist=["Pic"]).Pic(()),
@@ -93,8 +93,8 @@ class TestEcmRouting:
 
     def test_data_message_to_remote_ecu(self, deployed):
         """DATA relayed over type I reaches a plug-in port on ECU2."""
-        ecm = deployed.vehicle.ecm_pirte
-        pirte2 = deployed.vehicle.pirte_of("swc2")
+        ecm = deployed.vehicle().ecm_pirte
+        pirte2 = deployed.vehicle().pirte_of("swc2")
         op = pirte2.plugin("OP")
         wheels_id = op.pic.id_by_name("in_wheels")
         ecm.route_data_message(
@@ -104,7 +104,7 @@ class TestEcmRouting:
         assert deployed.actuator_state().get("wheels") == [17]
 
     def test_data_message_to_unknown_ecu_dropped(self, deployed):
-        ecm = deployed.vehicle.ecm_pirte
+        ecm = deployed.vehicle().ecm_pirte
         before = ecm.dropped_messages
         ecm.route_data_message(msg.DataMessage("ECU9", "", 0, 1))
         assert ecm.dropped_messages == before + 1
@@ -113,7 +113,7 @@ class TestEcmRouting:
         platform = build_example_platform()
         platform.boot()
         platform.run(1 * MS)  # PIRTE exists, connection still in flight
-        ecm = platform.vehicle.ecm_pirte
+        ecm = platform.vehicle().ecm_pirte
         assert not ecm.connected
         ack = msg.AckMessage(
             "x", "swc1", msg.MessageType.INSTALL, msg.AckStatus.OK
@@ -123,7 +123,7 @@ class TestEcmRouting:
         assert ecm.connected
 
     def test_external_out_without_ecc_dropped(self, deployed):
-        ecm = deployed.vehicle.ecm_pirte
+        ecm = deployed.vehicle().ecm_pirte
         com = ecm.plugin("COM")
         before = ecm.dropped_messages
         # COM port 0 is unconnected AND has an inbound-only ECC entry

@@ -33,7 +33,7 @@ def deployed(platform):
 
 class TestDeployment:
     def test_ecm_connects_at_startup(self, platform):
-        assert platform.vehicle.ecm_pirte.connected
+        assert platform.vehicle().ecm_pirte.connected
         assert platform.server.pusher.is_connected("VIN-0001")
 
     def test_deploy_reaches_active(self, deployed):
@@ -43,22 +43,22 @@ class TestDeployment:
         assert status is InstallStatus.ACTIVE
 
     def test_com_installed_on_ecm(self, deployed):
-        ecm = deployed.vehicle.ecm_pirte
+        ecm = deployed.vehicle().ecm_pirte
         assert ecm.plugin("COM").state is PluginState.RUNNING
 
     def test_op_installed_on_swc2(self, deployed):
-        pirte2 = deployed.vehicle.pirte_of("swc2")
+        pirte2 = deployed.vehicle().pirte_of("swc2")
         assert pirte2.plugin("OP").state is PluginState.RUNNING
 
     def test_install_package_crossed_the_bus(self, deployed):
-        bus = deployed.vehicle.system.bus
+        bus = deployed.vehicle().system.bus
         assert bus is not None
         # The OP package (hundreds of bytes) needs many CAN frames.
         assert bus.frames_transferred > 20
 
     def test_acks_counted(self, deployed):
         assert deployed.server.web.acks_processed == 2
-        assert deployed.vehicle.ecm_pirte.acks_forwarded == 1
+        assert deployed.vehicle().ecm_pirte.acks_forwarded == 1
 
     def test_deploy_offline_vehicle_queues(self):
         p = build_example_platform()
@@ -84,26 +84,26 @@ class TestDeployment:
 
 class TestFesDataPath:
     def test_phone_controls_actuators(self, deployed):
-        deployed.phone.send("Wheels", -25)
-        deployed.phone.send("Speed", 40)
+        deployed.phone().send("Wheels", -25)
+        deployed.phone().send("Speed", 40)
         deployed.run(1 * SECOND)
         state = deployed.actuator_state()
         assert state.get("wheels") == [-25]
         assert state.get("speed") == [40]
 
     def test_phone_connected_after_install(self, deployed):
-        assert deployed.phone.is_connected()
+        assert deployed.phone().is_connected()
 
     def test_command_stream_ordered(self, deployed):
         for angle in range(-5, 6):
-            deployed.phone.send("Wheels", angle)
+            deployed.phone().send("Wheels", angle)
         deployed.run(2 * SECOND)
         assert deployed.actuator_state().get("wheels") == list(range(-5, 6))
 
     def test_unknown_message_dropped(self, deployed):
-        ecm = deployed.vehicle.ecm_pirte
+        ecm = deployed.vehicle().ecm_pirte
         before = ecm.dropped_messages
-        deployed.phone.send("Brakes", 1)
+        deployed.phone().send("Brakes", 1)
         deployed.run(1 * SECOND)
         assert ecm.dropped_messages == before + 1
         assert deployed.actuator_state() == {}
@@ -111,7 +111,7 @@ class TestFesDataPath:
     def test_commands_before_install_lost_gracefully(self, platform):
         # Phone is not yet connected (ECC not installed): send() is a
         # no-op with zero peers.
-        assert platform.phone.send("Wheels", 5) == 0
+        assert platform.phone().send("Wheels", 5) == 0
 
 
 class TestUninstallAndRestore:
@@ -127,15 +127,15 @@ class TestUninstallAndRestore:
             )
             is None
         )
-        assert "COM" not in deployed.vehicle.ecm_pirte.plugins
-        assert "OP" not in deployed.vehicle.pirte_of("swc2").plugins
+        assert "COM" not in deployed.vehicle().ecm_pirte.plugins
+        assert "OP" not in deployed.vehicle().pirte_of("swc2").plugins
 
     def test_uninstalled_plugin_stops_processing(self, deployed):
         deployed.server.web.uninstall(
             deployed.user_id, "VIN-0001", "remote-control"
         )
         deployed.run(3 * SECOND)
-        deployed.phone.send("Wheels", 9)
+        deployed.phone().send("Wheels", 9)
         deployed.run(1 * SECOND)
         assert deployed.actuator_state().get("wheels") is None
 
@@ -147,13 +147,13 @@ class TestUninstallAndRestore:
         result = deployed.deploy_remote_control()
         assert result.ok, result.reasons
         deployed.run(3 * SECOND)
-        deployed.phone.send("Speed", 77)
+        deployed.phone().send("Speed", 77)
         deployed.run(1 * SECOND)
         assert deployed.actuator_state().get("speed") == [77]
 
     def test_restore_replaced_ecu(self, deployed):
         """Workshop scenario: ECU2 replaced, plug-ins re-deployed."""
-        pirte2 = deployed.vehicle.pirte_of("swc2")
+        pirte2 = deployed.vehicle().pirte_of("swc2")
         # Simulate replacement: wipe the PIRTE's dynamic state.
         pirte2.uninstall("OP")
         assert "OP" not in pirte2.plugins
@@ -164,7 +164,7 @@ class TestUninstallAndRestore:
         assert pirte2.plugin("OP").state is PluginState.RUNNING
         # The restored plug-in keeps its original port ids, so the
         # already-installed COM keeps routing to it.
-        deployed.phone.send("Wheels", 3)
+        deployed.phone().send("Wheels", 3)
         deployed.run(1 * SECOND)
         assert deployed.actuator_state().get("wheels") == [3]
 

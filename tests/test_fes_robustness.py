@@ -88,7 +88,7 @@ class TestLossyWireless:
         platform.run(3 * SECOND)
         sent = 60
         for angle in range(sent):
-            platform.phone.send("Wheels", angle)
+            platform.phone().send("Wheels", angle)
             platform.run(20 * MS)
         platform.run(1 * SECOND)
         got = platform.actuator_state().get("wheels", [])
@@ -104,7 +104,7 @@ class TestLossyWireless:
         platform.run(2 * SECOND)
         assert platform.deploy_remote_control().ok
         platform.run(5 * SECOND)
-        assert platform.vehicle.pirte_of("swc2").plugin("OP").state is (
+        assert platform.vehicle().pirte_of("swc2").plugin("OP").state is (
             PluginState.RUNNING
         )
 

@@ -33,15 +33,15 @@ def deployed():
 
 class TestReconcile:
     def test_reconcile_noop_when_healthy(self, deployed):
-        deployed.vehicle.pirte_of("swc2").emit_diagnostics()
-        deployed.vehicle.ecm_pirte.emit_diagnostics()
+        deployed.vehicle().pirte_of("swc2").emit_diagnostics()
+        deployed.vehicle().ecm_pirte.emit_diagnostics()
         deployed.run(2 * SECOND)
         result = deployed.server.web.reconcile("VIN-0001")
         assert result.ok
         assert result.pushed_messages == 0
 
     def test_reconcile_repushes_missing_plugin(self, deployed):
-        pirte2 = deployed.vehicle.pirte_of("swc2")
+        pirte2 = deployed.vehicle().pirte_of("swc2")
         pirte2.uninstall("OP")  # RAM loss on ECU2, server not told
         pirte2.emit_diagnostics()
         deployed.run(2 * SECOND)
@@ -56,13 +56,13 @@ class TestReconcile:
             is InstallStatus.ACTIVE
         )
         # End-to-end works again.
-        deployed.phone.send("Wheels", 6)
+        deployed.phone().send("Wheels", 6)
         deployed.run(1 * SECOND)
         assert deployed.actuator_state().get("wheels") == [6]
 
     def test_reconcile_without_reports_does_nothing(self, deployed):
         """No telemetry -> no action (absence of evidence rule)."""
-        pirte2 = deployed.vehicle.pirte_of("swc2")
+        pirte2 = deployed.vehicle().pirte_of("swc2")
         pirte2.uninstall("OP")
         result = deployed.server.web.reconcile("VIN-0001")
         assert result.pushed_messages == 0

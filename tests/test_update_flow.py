@@ -90,13 +90,13 @@ class TestUpdateFlow:
         assert installed.version == "2.0"
         assert installed.status is InstallStatus.ACTIVE
         # Behavioural proof: v2 inverts the steering angle.
-        deployed.phone.send("Wheels", 30)
+        deployed.phone().send("Wheels", 30)
         deployed.run(1 * SECOND)
         assert deployed.actuator_state().get("wheels") == [-30]
 
     def test_old_plugin_state_not_transferred(self, deployed):
         """'Restarted fresh' (paper Sec. 5): VM memory is reset."""
-        pirte2 = deployed.vehicle.pirte_of("swc2")
+        pirte2 = deployed.vehicle().pirte_of("swc2")
         old_vm = pirte2.plugin("OP").vm
         old_vm.memory[0] = 12345  # poke state into the running VM
         deployed.server.web.upload_app_version(make_v2_app())
@@ -104,7 +104,7 @@ class TestUpdateFlow:
             deployed.user_id, "VIN-0001", "remote-control"
         )
         deployed.run(6 * SECOND)
-        new_vm = deployed.vehicle.pirte_of("swc2").plugin("OP").vm
+        new_vm = deployed.vehicle().pirte_of("swc2").plugin("OP").vm
         assert new_vm is not old_vm
         assert new_vm.memory[0] == 0
 
@@ -116,6 +116,6 @@ class TestUpdateFlow:
             deployed.user_id, "VIN-0001", "remote-control"
         )
         deployed.run(6 * SECOND)
-        deployed.phone.send("Speed", 44)
+        deployed.phone().send("Speed", 44)
         deployed.run(1 * SECOND)
         assert deployed.actuator_state().get("speed") == [44]
