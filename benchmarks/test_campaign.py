@@ -1,0 +1,151 @@
+"""CAMPAIGN — staged-rollout scaling, canary cost, breach determinism.
+
+Producer of ``BENCH_campaign.json`` (committed at the repo root and
+uploaded as a CI artifact): quantifies the campaign engine along the
+three ROADMAP axes.
+
+* ``fleet_size_sweep`` — wall/simulated time to update whole fleets,
+  per wave policy: one blast wave, fixed-size waves, and a percentage
+  canary ladder.  Staging costs simulated time (gates serialize waves)
+  but not meaningful wall time — the event-driven engine does no
+  per-vehicle busy-waiting.
+* ``canary_fraction_sweep`` — how the canary's size changes end-to-end
+  rollout time on one fleet.
+* ``breach_determinism`` — the acceptance scenario: 100 vehicles,
+  5% -> 25% -> 100%, seeded faults above the health threshold; the
+  canary breaches, promotion halts, the wave rolls back, and two runs
+  produce byte-identical reports.
+"""
+
+import json
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from benchmarks.conftest import ROOT  # noqa: F401
+from repro import FaultPlan, FixedWaves, PercentageWaves
+from repro.analysis import print_table
+from repro.fes import canary_campaign
+from repro.fes.example_platform import PHONE_ADDRESS, make_remote_control_app
+from repro.fes.fleet import build_fleet
+
+APP = "remote-control"
+OUTPUT = Path(ROOT) / "BENCH_campaign.json"
+
+
+def _record(section, payload):
+    data = {}
+    if OUTPUT.exists():
+        data = json.loads(OUTPUT.read_text())
+    data[section] = payload
+    OUTPUT.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def _campaign(size, spec, faults=None, seed=3):
+    fleet = build_fleet(size, seed=seed)
+    fleet.server.web.upload_app(make_remote_control_app(PHONE_ADDRESS))
+    start = time.perf_counter()
+    report = fleet.run_campaign(spec, faults=faults)
+    wall = time.perf_counter() - start
+    return report, wall
+
+
+def test_fleet_size_sweep_per_wave_policy():
+    policies = [
+        ("blast", lambda size: FixedWaves(size)),
+        ("fixed-10", lambda size: FixedWaves(10)),
+        ("canary-pct", lambda size: PercentageWaves((0.1, 0.5, 1.0))),
+    ]
+    rows, payload = [], []
+    for policy_name, make_policy in policies:
+        for size in (10, 25, 50):
+            spec = replace(canary_campaign(APP), waves=make_policy(size))
+            report, wall = _campaign(size, spec)
+            assert report.status == "succeeded"
+            assert report.updated == size
+            sim_time = report.finished_us - report.started_us
+            payload.append(
+                {
+                    "policy": policy_name,
+                    "fleet_size": size,
+                    "waves": len(report.waves),
+                    "sim_time_us": sim_time,
+                    "wall_s": round(wall, 3),
+                    "updated": report.updated,
+                }
+            )
+            rows.append(
+                [policy_name, size, len(report.waves),
+                 f"{sim_time / 1000:.0f} ms", f"{wall:.2f} s"]
+            )
+    print_table(
+        ["policy", "fleet", "waves", "sim time", "wall"],
+        rows,
+        title="CAMPAIGN: fleet-size sweep per wave policy",
+    )
+    _record("fleet_size_sweep", payload)
+
+
+def test_canary_fraction_sweep():
+    rows, payload = [], []
+    for fraction in (0.1, 0.2, 0.4):
+        spec = canary_campaign(APP, fractions=(fraction, 1.0))
+        report, wall = _campaign(30, spec)
+        assert report.status == "succeeded" and report.updated == 30
+        sim_time = report.finished_us - report.started_us
+        canary_size = len(report.waves[0].vins)
+        payload.append(
+            {
+                "canary_fraction": fraction,
+                "canary_size": canary_size,
+                "sim_time_us": sim_time,
+                "wall_s": round(wall, 3),
+            }
+        )
+        rows.append(
+            [fraction, canary_size, f"{sim_time / 1000:.0f} ms",
+             f"{wall:.2f} s"]
+        )
+    print_table(
+        ["canary fraction", "canary size", "sim time", "wall"],
+        rows,
+        title="CAMPAIGN: canary fraction sweep (fleet of 30)",
+    )
+    _record("canary_fraction_sweep", payload)
+
+
+def test_breach_determinism():
+    """The acceptance scenario, twice: identical reports, halted spread."""
+
+    def run():
+        spec = canary_campaign(
+            APP, fractions=(0.05, 0.25, 1.0),
+            max_failure_rate=0.1, retry_budget=0,
+        )
+        faults = FaultPlan(seed=13, install_failure_rate=0.5)
+        return _campaign(100, spec, faults=faults)
+
+    first, wall_a = run()
+    second, wall_b = run()
+    assert first.status == "rolled_back"
+    assert first.waves[0].breaches  # the canary gate tripped
+    assert first.waves[1].started_us is None  # promotion halted
+    assert first.to_dict() == second.to_dict()
+    payload = {
+        "fleet_size": 100,
+        "canary_fraction": 0.05,
+        "status": first.status,
+        "failed": first.waves[0].failed,
+        "rolled_back": first.rolled_back,
+        "needs_workshop": first.needs_workshop,
+        "skipped": first.skipped,
+        "event_count": len(first.events),
+        "identical_across_runs": first.to_dict() == second.to_dict(),
+        "wall_s": [round(wall_a, 3), round(wall_b, 3)],
+    }
+    print_table(
+        ["metric", "value"],
+        [[key, str(value)] for key, value in payload.items()],
+        title="CAMPAIGN: canary breach determinism (100 vehicles)",
+    )
+    _record("breach_determinism", payload)

@@ -1,66 +1,60 @@
 #!/usr/bin/env python3
-"""Fleet OTA campaign: deploy an APP to many vehicles at once.
+"""Fleet OTA campaign: a staged rollout with a canary wave and faults.
 
-Demonstrates the life-cycle management side of the paper at fleet
-scale: a server pushes the remote-control APP to a whole fleet,
-tracks per-vehicle acknowledgements, survives an incompatible vehicle
-(different model, no deployment descriptor), and restores a replaced
-ECU in the workshop — then compares the deployment time against the
-classical full-reflash baseline.
+Demonstrates the campaign engine at fleet scale: a trusted server rolls
+the remote-control APP out to a 12-vehicle fleet in waves (25% canary,
+then the rest), with seeded fault injection dooming one vehicle's
+installation.  The canary gate passes, the single failure stays below
+the health threshold, the doomed vehicle exhausts its retry budget and
+is flagged for the workshop — and the whole run is deterministic.
+
+Flip ``max_failure_rate`` down to 0.05 to watch the same failure breach
+the gate and roll the wave back instead.
 
 Run:  python examples/fleet_ota_campaign.py
 """
 
-from repro import build_fleet
+from repro import Disposition, FaultPlan, build_fleet
 from repro.baselines import ReflashParameters, ota_reflash_time_us
-from repro.fes import make_example_vehicle_spec
+from repro.fes import canary_campaign
 from repro.fes.example_platform import PHONE_ADDRESS, make_remote_control_app
-from repro.sim import SECOND, format_time
+from repro.sim import format_time
 
 
 def main() -> None:
-    fleet_size = 8
+    fleet_size = 12
     print(f"== building a fleet of {fleet_size} vehicles on one server ==")
     fleet = build_fleet(fleet_size, seed=3)
-    web = fleet.server.web
-    web.upload_app(make_remote_control_app(PHONE_ADDRESS))
-    fleet.boot()
-    fleet.sim.run_for(1 * SECOND)
-    online = len(fleet.server.pusher.connected_vins())
-    print(f"   vehicles online: {online}/{fleet_size}")
+    fleet.server.web.upload_app(make_remote_control_app(PHONE_ADDRESS))
 
-    print("== odd one out: register an incompatible vehicle model ==")
-    spec = make_example_vehicle_spec("VIN-ODD", fleet.server.address)
-    hw, system_sw = spec.describe_for_server()
-    web.register_vehicle("VIN-ODD", "exotic-model", hw, system_sw)
-    web.bind_vehicle(fleet.user_id, "VIN-ODD")
-    odd = web.deploy(fleet.user_id, "VIN-ODD", "remote-control")
-    print(f"   deploy to VIN-ODD rejected: {not odd.ok}")
-    print(f"   reason: {odd.reasons[0]}")
+    print("== declaring the campaign: 25% canary wave, then the rest ==")
+    spec = canary_campaign(
+        "remote-control",
+        fractions=(0.25, 1.0),
+        max_failure_rate=0.2,   # one casualty out of nine is tolerable
+        retry_budget=1,
+    )
+    faults = FaultPlan(seed=7, doomed_vins={"VIN-0005"})
+    print("   injected fault: VIN-0005 always NACKs its installation")
 
-    print("== campaign: deploy to every compatible vehicle ==")
-    campaign = fleet.deploy_everywhere("remote-control")
-    print(f"   accepted: {sum(r.ok for r in campaign)}/{fleet_size}")
-    elapsed = campaign.wait(30 * SECOND)
-    print(f"   all {campaign.active_count()} vehicles ACTIVE "
-          f"after {format_time(elapsed)}")
+    print("== running the staged rollout (event-driven, one sim) ==")
+    report = fleet.run_campaign(spec, faults=faults)
+    print(report.timeline())
 
-    print("== workshop: ECU2 of vehicle 0 is replaced ==")
-    victim = fleet.vehicles[0]
-    pirte2 = victim.pirte_of("swc2")
-    pirte2.uninstall("OP")  # the new ECU comes empty
-    result = web.restore(victim.vin, "ECU2")
-    fleet.sim.run_for(5 * SECOND)
-    status = web.installation_status(victim.vin, "remote-control")
-    print(f"   restore pushed {result.pushed_messages} package(s); "
-          f"status: {status.value}")
-    print(f"   OP re-installed: {'OP' in pirte2.plugins}")
+    # The report is the contract: assert the outcome the scenario scripts.
+    assert report.status == "succeeded", report.summary()
+    assert report.updated == fleet_size - 1
+    assert report.dispositions["VIN-0005"] is Disposition.NEEDS_WORKSHOP
+    assert report.waves[0].canary and not report.waves[0].breaches
+    assert report.waves[1].retries == 1  # the doomed VIN got its retry
+    print("   report assertions hold: 11 updated, VIN-0005 -> workshop")
 
     print("== comparison: classical full-image reflash baseline ==")
-    params = ReflashParameters()
-    reflash = ota_reflash_time_us(params)
-    print(f"   dynamic plug-in deploy (measured): {format_time(elapsed)}")
-    print(f"   full OTA reflash of one ECU (model): {format_time(reflash)}")
+    elapsed = report.finished_us - report.started_us
+    reflash = ota_reflash_time_us(ReflashParameters()) * fleet_size
+    print(f"   staged dynamic campaign (measured): {format_time(elapsed)}")
+    print(f"   sequential OTA reflash of the fleet (model): "
+          f"{format_time(reflash)}")
     print(f"   speedup: {reflash / max(1, elapsed):.0f}x")
     print("done.")
 

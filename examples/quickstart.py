@@ -76,7 +76,7 @@ def main() -> None:
     print(f"   packages pushed: {deployment.result('VIN-0001').pushed_messages}")
     elapsed = deployment.wait(10 * SECOND)
     status = deployment.status("VIN-0001")
-    acked, total = deployment.acks("VIN-0001")
+    acked, _failed, total = deployment.acks("VIN-0001")
     print(f"   installation status: {status.value} ({acked}/{total} acks)")
     print(f"   (wall-clock in the car's world: {format_time(elapsed)})")
 

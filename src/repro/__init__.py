@@ -12,6 +12,8 @@ Reproduction of Ni, Kobetski & Axelsson, DAC 2014.  The package layers:
 * :mod:`repro.api` — the declarative public API: compose arbitrary
   scenarios with :class:`ScenarioBuilder`, operate them through
   :class:`Platform` and unified :class:`Deployment` handles.
+* :mod:`repro.campaign` — staged fleet rollouts: wave policies, canary
+  waves, health gates, fault injection, automatic rollback.
 * :mod:`repro.baselines`, :mod:`repro.workloads`, :mod:`repro.analysis`
   — experiment support.
 
@@ -43,12 +45,22 @@ Composing your own scenario::
 
 from repro.api import (
     AppBuilder,
+    CampaignEngine,
+    CampaignReport,
+    CampaignSpec,
     Deployment,
     DeploymentTimeout,
+    Disposition,
+    ExponentialWaves,
+    FaultPlan,
+    FixedWaves,
+    HealthPolicy,
     InstallStatus,
+    PercentageWaves,
     Platform,
     PluginSwcSpec,
     RelayLink,
+    RollbackPolicy,
     ScenarioBuilder,
     ServicePort,
     VehicleBuilder,
@@ -78,6 +90,17 @@ __all__ = [
     "RelayLink",
     "ServicePort",
     "InstallStatus",
+    # campaigns
+    "CampaignEngine",
+    "CampaignReport",
+    "CampaignSpec",
+    "Disposition",
+    "ExponentialWaves",
+    "FaultPlan",
+    "FixedWaves",
+    "HealthPolicy",
+    "PercentageWaves",
+    "RollbackPolicy",
     # demonstrator + fleets
     "ExamplePlatform",
     "Fleet",

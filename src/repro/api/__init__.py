@@ -18,10 +18,23 @@ statuses) is re-exported here so most scenarios import one module.
 from repro.api.builder import AppBuilder, ScenarioBuilder, VehicleBuilder
 from repro.api.deployment import Deployment
 from repro.api.platform import Platform
+from repro.campaign import (
+    CampaignEngine,
+    CampaignReport,
+    CampaignSpec,
+    Disposition,
+    ExponentialWaves,
+    FaultPlan,
+    FixedWaves,
+    HealthPolicy,
+    PercentageWaves,
+    RollbackPolicy,
+)
 from repro.core.plugin_swc import PluginSwcSpec, RelayLink, ServicePort
 from repro.errors import ConfigurationError, DeploymentTimeout
 from repro.network.channel import CELLULAR, WIFI, WIRED, ChannelProfile
 from repro.server.models import App, InstallStatus
+from repro.server.webservices import InstallProgress
 
 __all__ = [
     "ScenarioBuilder",
@@ -40,4 +53,16 @@ __all__ = [
     "WIRED",
     "App",
     "InstallStatus",
+    "InstallProgress",
+    # campaigns
+    "CampaignEngine",
+    "CampaignReport",
+    "CampaignSpec",
+    "Disposition",
+    "ExponentialWaves",
+    "FaultPlan",
+    "FixedWaves",
+    "HealthPolicy",
+    "PercentageWaves",
+    "RollbackPolicy",
 ]

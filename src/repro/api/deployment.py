@@ -16,7 +16,7 @@ from typing import TYPE_CHECKING, Iterator, Optional
 
 from repro.errors import DeploymentTimeout, UnknownEntityError
 from repro.server.models import InstallStatus
-from repro.server.webservices import OperationResult
+from repro.server.webservices import InstallProgress, OperationResult
 from repro.sim.kernel import MS, SECOND
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -91,8 +91,12 @@ class Deployment:
         """Current per-vehicle statuses, accepted vehicles only."""
         return {vin: self.status(vin) for vin in self.accepted_vins}
 
-    def acks(self, vin: str) -> tuple[int, int]:
-        """``(acked, total)`` plug-in acknowledgements for one vehicle."""
+    def acks(self, vin: str) -> InstallProgress:
+        """``(acked, failed, total)`` plug-in acknowledgements for one vehicle.
+
+        ``failed`` counts negatively acknowledged plug-ins — distinct
+        from pending ones, which simply have not answered yet.
+        """
         return self._platform.server.web.installation_progress(
             vin, self.app_name
         )

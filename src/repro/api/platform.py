@@ -13,9 +13,13 @@ handles instead of raw ``OperationResult`` lists.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.api.deployment import Deployment
+from repro.campaign.engine import DEFAULT_RUN_TIMEOUT_US, CampaignEngine
+from repro.campaign.faults import FaultPlan
+from repro.campaign.report import CampaignReport
+from repro.campaign.spec import CampaignSpec
 from repro.errors import ConfigurationError, UnknownEntityError
 from repro.fes.phone import Smartphone
 from repro.fes.vehicle import Vehicle
@@ -120,16 +124,59 @@ class Platform:
         vehicle on the platform (a fleet campaign).
         """
         vins = [self._vehicle(vin).vin] if vin is not None else self.vins
-        user = user_id or self.user_id
-        results = {
-            target: self.web.deploy(user, target, app_name)
-            for target in vins
-        }
+        return self.deploy_to(app_name, vins, user_id=user_id)
+
+    def deploy_to(
+        self,
+        app_name: str,
+        vins: Iterable[str],
+        user_id: Optional[str] = None,
+    ) -> Deployment:
+        """Request installation of ``app_name`` on an explicit VIN set.
+
+        One batch server pass (the campaign engine's wave dispatch);
+        returns the same unified :class:`Deployment` handle as
+        :meth:`deploy`.
+        """
+        results = self.web.deploy_batch(
+            user_id or self.user_id, list(vins), app_name
+        )
         return Deployment(self, app_name, results)
 
     def deploy_everywhere(self, app_name: str) -> Deployment:
         """Request installation of ``app_name`` on every vehicle."""
         return self.deploy(app_name)
+
+    # -- campaigns -----------------------------------------------------------
+
+    def stage_campaign(
+        self,
+        spec: CampaignSpec,
+        faults: Optional[FaultPlan] = None,
+    ) -> CampaignEngine:
+        """Prepare a staged-rollout engine without starting it.
+
+        Use this when a test or experiment wants to interleave its own
+        simulated-time control with the campaign; most callers want
+        :meth:`run_campaign`.
+        """
+        return CampaignEngine(self, spec, faults=faults)
+
+    def run_campaign(
+        self,
+        spec: CampaignSpec,
+        faults: Optional[FaultPlan] = None,
+        timeout_us: int = DEFAULT_RUN_TIMEOUT_US,
+    ) -> CampaignReport:
+        """Run a staged rollout to completion; returns the report.
+
+        Boots the platform if needed, applies the optional fault plan,
+        and drives the shared simulator until the campaign terminates
+        (succeeded, rolled back, halted, or timed out).
+        """
+        return self.stage_campaign(spec, faults=faults).run(
+            timeout_us=timeout_us
+        )
 
     def uninstall(
         self,

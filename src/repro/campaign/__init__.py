@@ -1,0 +1,66 @@
+"""Fleet campaign orchestration: staged rollouts with health gates.
+
+The paper demonstrates single-vehicle plug-in deployment; production
+OTA programs run *campaigns*: a canary wave, progressively larger
+waves, health thresholds that gate promotion, retry budgets for lossy
+vehicles, and automatic rollback when a wave misbehaves.  This package
+provides exactly that on top of the existing platform machinery:
+
+* :class:`CampaignSpec` — declarative rollout: wave sizing policies
+  (:class:`FixedWaves` / :class:`PercentageWaves` /
+  :class:`ExponentialWaves`), canary handling, :class:`HealthPolicy`
+  thresholds, :class:`RollbackPolicy`, retry budget and timeouts.
+* :class:`CampaignEngine` — sim-driven orchestration as discrete-event
+  callbacks (no per-vehicle busy-wait loops); usually reached through
+  ``Platform.run_campaign(spec)``.
+* :class:`FaultPlan` / :class:`FaultInjector` — seeded, deterministic
+  fault injection: offline windows, dropped/delayed pusher traffic,
+  failed installations.
+* :class:`CampaignReport` — per-wave timelines, the event log, and the
+  final per-VIN :class:`Disposition` of every targeted vehicle.
+"""
+
+from repro.campaign.engine import DEFAULT_RUN_TIMEOUT_US, CampaignEngine
+from repro.campaign.faults import FaultInjector, FaultPlan, FaultStats
+from repro.campaign.report import (
+    HALTED,
+    ROLLED_BACK,
+    SUCCEEDED,
+    TIMED_OUT,
+    CampaignEvent,
+    CampaignReport,
+    Disposition,
+    WaveReport,
+)
+from repro.campaign.spec import (
+    CampaignSpec,
+    ExponentialWaves,
+    FixedWaves,
+    HealthPolicy,
+    PercentageWaves,
+    RollbackPolicy,
+    WavePolicy,
+)
+
+__all__ = [
+    "CampaignEngine",
+    "DEFAULT_RUN_TIMEOUT_US",
+    "CampaignSpec",
+    "WavePolicy",
+    "FixedWaves",
+    "PercentageWaves",
+    "ExponentialWaves",
+    "HealthPolicy",
+    "RollbackPolicy",
+    "FaultPlan",
+    "FaultStats",
+    "FaultInjector",
+    "CampaignReport",
+    "CampaignEvent",
+    "WaveReport",
+    "Disposition",
+    "SUCCEEDED",
+    "ROLLED_BACK",
+    "HALTED",
+    "TIMED_OUT",
+]

@@ -1,0 +1,420 @@
+"""The campaign engine: staged rollouts as discrete-event callbacks.
+
+A :class:`CampaignEngine` drives one :class:`~repro.campaign.spec.CampaignSpec`
+against one :class:`~repro.api.platform.Platform`.  It never busy-waits:
+wave dispatch, health-gate evaluation, promotion, retries, and rollback
+all run as callbacks on the shared simulator, triggered either by the
+trusted server's installation events (see
+:meth:`~repro.server.webservices.WebServices.add_listener`) or by
+scheduled wave/rollback timeout timers.  ``run()`` simply steps the
+kernel until the campaign reaches a terminal status.
+
+Life cycle of one wave::
+
+    dispatch (deploy_batch) ──> per-VIN install events ──┐
+          │ rejected VINs -> EXCLUDED                    │
+          └─ timeout timer ──> retries / TIMED_OUT ──────┤
+                                                         v
+                                   gate: HealthPolicy.breaches()
+                                     │ pass          │ breach
+                                     v               v
+                            promote next wave   RollbackPolicy
+                            (after soak/pause)  (uninstall / abandon)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.campaign.faults import FaultInjector, FaultPlan
+from repro.campaign.report import (
+    HALTED,
+    ROLLED_BACK,
+    SUCCEEDED,
+    TIMED_OUT,
+    CampaignEvent,
+    CampaignReport,
+    Disposition,
+    WaveReport,
+)
+from repro.campaign.spec import CampaignSpec
+from repro.errors import ConfigurationError
+from repro.server.models import InstallStatus
+from repro.server.webservices import ServerEvent
+from repro.sim.kernel import SECOND, EventHandle
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.api.platform import Platform
+
+#: Default bound on one engine ``run()`` in simulated time.
+DEFAULT_RUN_TIMEOUT_US = 600 * SECOND
+
+
+class CampaignEngine:
+    """Orchestrates one staged rollout on one platform."""
+
+    def __init__(
+        self,
+        platform: "Platform",
+        spec: CampaignSpec,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
+        self.platform = platform
+        self.spec = spec
+        self.injector = (
+            FaultInjector(platform, faults)
+            if faults is not None and faults.active
+            else None
+        )
+        self.report = CampaignReport(app_name=spec.app_name)
+        self.done = False
+        self._started = False
+        self._user_id = spec.user_id or platform.user_id
+        self._wave_index = -1
+        self._pending: set[str] = set()
+        self._attempts: dict[str, int] = {}
+        self._retry_scheduled: set[str] = set()
+        self._rollback_pending: set[str] = set()
+        self._timer: Optional[EventHandle] = None
+        self._timer_generation = 0
+
+    # -- plumbing --------------------------------------------------------------
+
+    @property
+    def _web(self):
+        return self.platform.server.web
+
+    @property
+    def _sim(self):
+        return self.platform.sim
+
+    def _log(self, kind: str, vin: str = "", detail: str = "") -> None:
+        self.report.events.append(
+            CampaignEvent(self._sim.now, kind, self._wave_index, vin, detail)
+        )
+
+    def _arm_timer(self, delay_us: int, callback) -> None:
+        self._timer_generation += 1
+        generation = self._timer_generation
+
+        def guarded() -> None:
+            if self.done or generation != self._timer_generation:
+                return
+            callback()
+
+        self._timer = self._sim.schedule(delay_us, guarded, "campaign:timer")
+
+    def _disarm_timer(self) -> None:
+        self._timer_generation += 1
+        if self._timer is not None:
+            self._sim.cancel(self._timer)
+            self._timer = None
+
+    # -- life cycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Boot, attach faults, partition the fleet, dispatch wave 0."""
+        if self._started:
+            raise ConfigurationError("campaign engine already started")
+        self._started = True
+        self.platform.boot()
+        if self.injector is not None:
+            self.injector.attach()
+        targets = self.spec.select_targets(self.platform.vins)
+        waves = self.spec.waves.partition(targets)
+        self.report.started_us = self._sim.now
+        self.report.waves = [
+            WaveReport(
+                index=index,
+                canary=self.spec.is_canary_wave(index, len(waves)),
+                vins=wave,
+            )
+            for index, wave in enumerate(waves)
+        ]
+        self._web.add_listener(self._on_server_event)
+        if not waves:
+            self._finish(SUCCEEDED)
+            return
+        self._sim.schedule(0, lambda: self._start_wave(0), "campaign:wave0")
+
+    def run(self, timeout_us: int = DEFAULT_RUN_TIMEOUT_US) -> CampaignReport:
+        """Step the kernel until the campaign terminates; returns the report.
+
+        ``timeout_us`` bounds the *simulated* time this call may consume;
+        hitting it finalises the report with status ``timed_out``.
+        """
+        if not self._started:
+            self.start()
+        deadline = self._sim.now + timeout_us
+        while not self.done and self._sim.now < deadline:
+            if not self._sim.step():
+                break
+        if not self.done:
+            # Mirror the wave-timeout path: abandon the server records of
+            # everything still in flight (pending installs AND half-done
+            # rollbacks) so a late ack cannot contradict the report.
+            for vin in sorted(self._pending | self._rollback_pending):
+                self._web.abandon(self._user_id, vin, self.spec.app_name)
+                self._set_disposition(vin, Disposition.NEEDS_WORKSHOP)
+            self._pending.clear()
+            self._rollback_pending.clear()
+            self._finish(TIMED_OUT)
+        return self.report
+
+    # -- wave dispatch ---------------------------------------------------------
+
+    def _start_wave(self, index: int) -> None:
+        if self.done:
+            return
+        self._wave_index = index
+        wave = self.report.waves[index]
+        wave.started_us = self._sim.now
+        self._log("wave_started", detail=f"{len(wave.vins)} vehicles")
+        deployment = self.platform.deploy_to(
+            self.spec.app_name, wave.vins, user_id=self._user_id
+        )
+        self._pending = set()
+        for vin, result in deployment.results.items():
+            if result.ok:
+                self._pending.add(vin)
+                self._attempts[vin] = 0
+            else:
+                wave.excluded += 1
+                self._set_disposition(vin, Disposition.EXCLUDED)
+                self._log(
+                    "deploy_rejected", vin,
+                    result.reasons[0] if result.reasons else "",
+                )
+        wave.attempted = len(self._pending)
+        if self._pending:
+            self._arm_timer(
+                self.spec.wave_timeout_us,
+                lambda: self._on_wave_timeout(index),
+            )
+        else:
+            self._complete_wave(index)
+
+    # -- event handling --------------------------------------------------------
+
+    def _on_server_event(self, event: ServerEvent) -> None:
+        if self.done or event.app_name != self.spec.app_name:
+            return
+        if event.kind == "install_resolved":
+            self._on_install_resolved(event.vin, event.status)
+        elif event.kind in ("uninstall_done", "uninstall_failed"):
+            self._on_uninstall_event(event.vin, event.kind)
+
+    def _on_install_resolved(
+        self, vin: str, status: Optional[InstallStatus]
+    ) -> None:
+        if vin not in self._pending:
+            return
+        wave = self.report.waves[self._wave_index]
+        if status is InstallStatus.ACTIVE:
+            self._pending.discard(vin)
+            wave.updated += 1
+            self._set_disposition(vin, Disposition.UPDATED)
+            self._log("updated", vin)
+            self._check_wave_complete()
+            return
+        # Negative acknowledgement: spend the retry budget, then fail.
+        if self._try_retry(vin, wave, "install_failed"):
+            return
+        self._give_up(vin, wave, "install_failed", "retry budget exhausted")
+
+    def _give_up(
+        self,
+        vin: str,
+        wave: WaveReport,
+        kind: str,
+        detail: str = "",
+        check_complete: bool = True,
+    ) -> None:
+        """Final failure of one VIN: count it, clean the server record,
+        flag the vehicle for the workshop."""
+        self._pending.discard(vin)
+        if kind == "timed_out":
+            wave.timed_out += 1
+        else:
+            wave.failed += 1
+        self._web.abandon(self._user_id, vin, self.spec.app_name)
+        self._set_disposition(vin, Disposition.NEEDS_WORKSHOP)
+        self._log(kind, vin, detail)
+        if check_complete:
+            self._check_wave_complete()
+
+    def _try_retry(self, vin: str, wave: WaveReport, cause: str) -> bool:
+        """Consume one retry for ``vin``; True when a retry was arranged.
+
+        The retry is not pushed immediately: it settles for
+        ``retry_backoff_us`` first, so the remaining NACKs of the failed
+        attempt land on the already-FAILED record (no status transition,
+        no event) instead of being mistaken for the retry's outcome.
+        """
+        if vin in self._retry_scheduled:
+            return True  # a retry is already waiting out its backoff
+        if self._attempts.get(vin, 0) >= self.spec.retry_budget:
+            return False
+        self._attempts[vin] = self._attempts.get(vin, 0) + 1
+        self._retry_scheduled.add(vin)
+        self._sim.schedule(
+            self.spec.retry_backoff_us,
+            lambda: self._push_retry(vin, wave, cause),
+            f"campaign:retry:{vin}",
+        )
+        return True
+
+    def _push_retry(self, vin: str, wave: WaveReport, cause: str) -> None:
+        self._retry_scheduled.discard(vin)
+        if self.done or vin not in self._pending:
+            return
+        result = self._web.retry_install(
+            self._user_id, vin, self.spec.app_name
+        )
+        if not result.ok:
+            self._give_up(
+                vin, wave, "install_failed",
+                result.reasons[0] if result.reasons else "retry rejected",
+            )
+            return
+        wave.retries += 1
+        self._log(
+            "retry", vin,
+            f"{cause}; attempt {self._attempts[vin]}/{self.spec.retry_budget}",
+        )
+
+    def _on_wave_timeout(self, index: int) -> None:
+        if self.done or index != self._wave_index:
+            return
+        wave = self.report.waves[index]
+        retried = False
+        for vin in sorted(self._pending):
+            if self._try_retry(vin, wave, "wave_timeout"):
+                retried = True
+                continue
+            self._give_up(vin, wave, "timed_out", check_complete=False)
+        if self._pending:
+            if retried:
+                self._arm_timer(
+                    self.spec.wave_timeout_us,
+                    lambda: self._on_wave_timeout(index),
+                )
+            return
+        self._check_wave_complete()
+
+    # -- gates and promotion ---------------------------------------------------
+
+    def _check_wave_complete(self) -> None:
+        if self._pending or self.done:
+            return
+        self._disarm_timer()
+        self._complete_wave(self._wave_index)
+
+    def _complete_wave(self, index: int) -> None:
+        wave = self.report.waves[index]
+        wave.resolved_us = self._sim.now
+        health = self.spec.health_for_wave(index, len(self.report.waves))
+        wave.breaches = health.breaches(
+            wave.attempted, wave.updated, wave.failed, wave.timed_out
+        )
+        if wave.breaches:
+            self._log("gate_breached", detail="; ".join(wave.breaches))
+            self._begin_rollback(index)
+            return
+        self._log("gate_passed")
+        if index + 1 >= len(self.report.waves):
+            self._finish(SUCCEEDED)
+            return
+        pause = (
+            self.spec.canary_soak_us if wave.canary else self.spec.pause_us
+        )
+        self._sim.schedule(
+            pause,
+            lambda: self._start_wave(index + 1),
+            f"campaign:wave{index + 1}",
+        )
+
+    # -- rollback --------------------------------------------------------------
+
+    def _rollback_targets(self, breached_index: int) -> list[str]:
+        scope = self.spec.rollback.scope
+        waves = (
+            self.report.waves[: breached_index + 1]
+            if scope == "campaign"
+            else [self.report.waves[breached_index]]
+        )
+        return [
+            vin
+            for wave in waves
+            for vin in wave.vins
+            if self.report.dispositions.get(vin) is Disposition.UPDATED
+        ]
+
+    def _begin_rollback(self, breached_index: int) -> None:
+        if self.spec.rollback.scope == "none":
+            self._finish(HALTED)
+            return
+        targets = self._rollback_targets(breached_index)
+        self._rollback_pending = set()
+        for vin in targets:
+            result = self._web.uninstall(
+                self._user_id, vin, self.spec.app_name
+            )
+            if result.ok:
+                self._rollback_pending.add(vin)
+                self._log("rollback_started", vin)
+            else:
+                self._set_disposition(vin, Disposition.NEEDS_WORKSHOP)
+                self._log(
+                    "rollback_failed", vin,
+                    result.reasons[0] if result.reasons else "",
+                )
+        if not self._rollback_pending:
+            self._finish(ROLLED_BACK)
+            return
+        self._arm_timer(self.spec.rollback.timeout_us, self._on_rollback_timeout)
+
+    def _on_uninstall_event(self, vin: str, kind: str) -> None:
+        if vin not in self._rollback_pending:
+            return
+        self._rollback_pending.discard(vin)
+        if kind == "uninstall_done":
+            self._set_disposition(vin, Disposition.ROLLED_BACK)
+            self._log("rolled_back", vin)
+        else:
+            self._set_disposition(vin, Disposition.NEEDS_WORKSHOP)
+            self._log("rollback_failed", vin, "negative uninstall ack")
+        if not self._rollback_pending:
+            self._disarm_timer()
+            self._finish(ROLLED_BACK)
+
+    def _on_rollback_timeout(self) -> None:
+        for vin in sorted(self._rollback_pending):
+            self._web.abandon(self._user_id, vin, self.spec.app_name)
+            self._set_disposition(vin, Disposition.NEEDS_WORKSHOP)
+            self._log("rollback_failed", vin, "rollback timed out")
+        self._rollback_pending.clear()
+        self._finish(ROLLED_BACK)
+
+    # -- termination -----------------------------------------------------------
+
+    def _set_disposition(self, vin: str, disposition: Disposition) -> None:
+        self.report.dispositions[vin] = disposition
+
+    def _finish(self, status: str) -> None:
+        if self.done:
+            return
+        self.done = True
+        self._disarm_timer()
+        for wave in self.report.waves:
+            for vin in wave.vins:
+                self.report.dispositions.setdefault(vin, Disposition.SKIPPED)
+        self.report.status = status
+        self.report.finished_us = self._sim.now
+        self._log("campaign_done", detail=status)
+        self._web.remove_listener(self._on_server_event)
+        if self.injector is not None:
+            self.injector.detach()
+
+
+__all__ = ["CampaignEngine", "DEFAULT_RUN_TIMEOUT_US"]

@@ -1,0 +1,254 @@
+"""Seeded fault injection for fleet campaigns.
+
+Real OTA campaigns are interesting because fleets are lossy: vehicles
+park in underground garages mid-transfer, cellular links drop packages,
+and some installations simply fail on the target.  A :class:`FaultPlan`
+declares those behaviours as rates and windows; a :class:`FaultInjector`
+realises them deterministically against one platform:
+
+* **offline windows** — the pusher connection is severed (in-flight
+  traffic reclaimed into the offline outbox) and the vehicle's ECM
+  redials after the window;
+* **drop / delay** — downstream pusher messages vanish or arrive late,
+  via the pusher's push filter;
+* **install failures** — an installation package is swallowed and a
+  negative acknowledgement is synthesised after one round trip, exactly
+  as if the vehicle's PIRTE had rejected the package.
+
+All randomness flows from per-VIN :class:`~repro.sim.random.SeededStream`
+children of ``plan.seed``, so a campaign under faults replays
+identically for the same seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, FrozenSet
+
+from repro.core import messages as msg
+from repro.errors import ConfigurationError
+from repro.server.pusher import PushVerdict
+from repro.sim.kernel import MS, SECOND
+from repro.sim.random import SeededStream
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.api.platform import Platform
+
+
+def _rate(name: str, value: float) -> float:
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1] (got {value})")
+    return value
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative description of a fleet's misbehaviour.
+
+    Rates are per-message (drop/delay/install failure) or per-vehicle
+    (offline).  ``doomed_vins`` always fail their installs, independent
+    of ``install_failure_rate`` — handy for scripting one deterministic
+    casualty in examples and tests.
+    """
+
+    seed: int = 0
+    install_failure_rate: float = 0.0
+    doomed_vins: FrozenSet[str] = field(default_factory=frozenset)
+    #: Vehicles that NACK their first ``flaky_install_failures`` install
+    #: packages, then behave — the transient-failure shape a retry
+    #: budget exists for.
+    flaky_vins: FrozenSet[str] = field(default_factory=frozenset)
+    flaky_install_failures: int = 2
+    drop_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_min_us: int = 50 * MS
+    delay_max_us: int = 500 * MS
+    offline_rate: float = 0.0
+    offline_after_min_us: int = 0
+    offline_after_max_us: int = 2 * SECOND
+    offline_duration_us: int = 5 * SECOND
+    nack_latency_us: int = 150 * MS
+
+    def __post_init__(self) -> None:
+        _rate("install_failure_rate", self.install_failure_rate)
+        _rate("drop_rate", self.drop_rate)
+        _rate("delay_rate", self.delay_rate)
+        _rate("offline_rate", self.offline_rate)
+        if self.delay_min_us > self.delay_max_us:
+            raise ConfigurationError(
+                "delay_min_us must be <= delay_max_us"
+            )
+        if self.offline_after_min_us > self.offline_after_max_us:
+            raise ConfigurationError(
+                "offline_after_min_us must be <= offline_after_max_us"
+            )
+        if self.flaky_install_failures < 0:
+            raise ConfigurationError(
+                "flaky_install_failures must be >= 0"
+            )
+        # Normalise so equality/replay semantics do not depend on the
+        # container type the caller used.
+        object.__setattr__(self, "doomed_vins", frozenset(self.doomed_vins))
+        object.__setattr__(self, "flaky_vins", frozenset(self.flaky_vins))
+
+    @property
+    def active(self) -> bool:
+        return bool(
+            self.install_failure_rate
+            or self.doomed_vins
+            or self.flaky_vins
+            or self.drop_rate
+            or self.delay_rate
+            or self.offline_rate
+        )
+
+
+@dataclass
+class FaultStats:
+    """What the injector actually did during one run."""
+
+    installs_failed: int = 0
+    messages_dropped: int = 0
+    messages_delayed: int = 0
+    offline_events: int = 0
+    requeued_in_flight: int = 0
+    reconnects: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "installs_failed": self.installs_failed,
+            "messages_dropped": self.messages_dropped,
+            "messages_delayed": self.messages_delayed,
+            "offline_events": self.offline_events,
+            "requeued_in_flight": self.requeued_in_flight,
+            "reconnects": self.reconnects,
+        }
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to one platform's server link."""
+
+    def __init__(self, platform: "Platform", plan: FaultPlan) -> None:
+        self.platform = platform
+        self.plan = plan
+        self.stats = FaultStats()
+        self._streams: dict[str, SeededStream] = {}
+        self._flaky_used: dict[str, int] = {}
+        self._attached = False
+
+    def _stream(self, vin: str) -> SeededStream:
+        stream = self._streams.get(vin)
+        if stream is None:
+            stream = SeededStream(self.plan.seed, f"faults:{vin}")
+            self._streams[vin] = stream
+        return stream
+
+    # -- life cycle ------------------------------------------------------------
+
+    def attach(self) -> None:
+        """Install the push filter and schedule the offline windows."""
+        if self._attached:
+            return
+        self._attached = True
+        self.platform.server.pusher.set_push_filter(self._filter)
+        if self.plan.offline_rate > 0:
+            for vin in self.platform.vins:
+                stream = self._stream(vin)
+                if not stream.chance(self.plan.offline_rate):
+                    continue
+                after = stream.randint(
+                    self.plan.offline_after_min_us,
+                    self.plan.offline_after_max_us,
+                )
+                self.platform.sim.schedule(
+                    after,
+                    lambda vin=vin: self.take_offline(
+                        vin, self.plan.offline_duration_us
+                    ),
+                    f"faults:offline:{vin}",
+                )
+
+    def detach(self) -> None:
+        """Remove the push filter (scheduled offline windows still fire)."""
+        if not self._attached:
+            return
+        self._attached = False
+        self.platform.server.pusher.set_push_filter(None)
+
+    # -- fault primitives ------------------------------------------------------
+
+    def take_offline(self, vin: str, duration_us: int) -> None:
+        """Sever ``vin``'s server connection now; redial after the window."""
+        pusher = self.platform.server.pusher
+        if pusher.is_connected(vin):
+            self.stats.requeued_in_flight += pusher.disconnect(vin)
+            self.stats.offline_events += 1
+        self.platform.sim.schedule(
+            duration_us, lambda: self._reconnect(vin), f"faults:redial:{vin}"
+        )
+
+    def _reconnect(self, vin: str) -> None:
+        ecm = self.platform.vehicle(vin).ecm_pirte
+        if not ecm.connected:
+            ecm.connect_to_server()
+            self.stats.reconnects += 1
+
+    # -- the push filter -------------------------------------------------------
+
+    @property
+    def _faults_installs(self) -> bool:
+        return bool(
+            self.plan.install_failure_rate
+            or self.plan.doomed_vins
+            or self.plan.flaky_vins
+        )
+
+    def _filter(self, vin: str, raw: bytes) -> PushVerdict:
+        stream = self._stream(vin)
+        # Decoding is only needed to single out install packages; skip
+        # it on the hot push path when no install fault is configured.
+        message = msg.decode(raw) if self._faults_installs else None
+        if isinstance(message, msg.InstallMessage):
+            flaky = (
+                vin in self.plan.flaky_vins
+                and self._flaky_used.get(vin, 0)
+                < self.plan.flaky_install_failures
+            )
+            if flaky:
+                self._flaky_used[vin] = self._flaky_used.get(vin, 0) + 1
+            doomed = vin in self.plan.doomed_vins
+            if doomed or flaky or (
+                self.plan.install_failure_rate > 0
+                and stream.chance(self.plan.install_failure_rate)
+            ):
+                self._fail_install(vin, message)
+                return PushVerdict.drop()
+        if self.plan.drop_rate > 0 and stream.chance(self.plan.drop_rate):
+            self.stats.messages_dropped += 1
+            return PushVerdict.drop()
+        if self.plan.delay_rate > 0 and stream.chance(self.plan.delay_rate):
+            self.stats.messages_delayed += 1
+            return PushVerdict.delay(
+                stream.randint(self.plan.delay_min_us, self.plan.delay_max_us)
+            )
+        return PushVerdict.allow()
+
+    def _fail_install(self, vin: str, message: msg.InstallMessage) -> None:
+        """Swallow the package; NACK it back after one round trip."""
+        self.stats.installs_failed += 1
+        nack = msg.AckMessage(
+            message.plugin_name,
+            message.target_swc,
+            msg.MessageType.INSTALL,
+            msg.AckStatus.BAD_PACKAGE,
+            "fault injection: installation failed on vehicle",
+        ).encode()
+        pusher = self.platform.server.pusher
+        self.platform.sim.schedule(
+            self.plan.nack_latency_us,
+            lambda: pusher.inject_upstream(vin, nack),
+            f"faults:nack:{vin}",
+        )
+
+
+__all__ = ["FaultPlan", "FaultStats", "FaultInjector"]

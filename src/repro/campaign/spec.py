@@ -1,0 +1,290 @@
+"""Campaign declarations: wave sizing, health gates, rollback policy.
+
+A :class:`CampaignSpec` describes one staged fleet rollout the way a
+real OTA program would: which vehicles are targeted, how the fleet is
+partitioned into waves (fixed size, cumulative percentages, or
+exponential growth), whether the first wave is a canary with its own
+health thresholds, how many retries a stuck vehicle gets, and what
+happens when a wave breaches its health gate.
+
+Wave policies are pure functions of the target VIN list, so the same
+spec partitions the same fleet identically on every run — the
+property the partition tests and the deterministic-replay tests pin.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sim.kernel import MS, SECOND
+
+
+# -- wave sizing ---------------------------------------------------------------
+
+
+class WavePolicy:
+    """Strategy that partitions an ordered VIN list into rollout waves.
+
+    ``partition`` must cover every VIN exactly once, preserve order,
+    and never emit an empty wave.
+    """
+
+    def partition(self, vins: Sequence[str]) -> list[list[str]]:
+        raise NotImplementedError
+
+    def _chunks(
+        self, vins: Sequence[str], sizes: Sequence[int]
+    ) -> list[list[str]]:
+        waves: list[list[str]] = []
+        start = 0
+        for size in sizes:
+            if start >= len(vins):
+                break
+            wave = list(vins[start : start + size])
+            if wave:
+                waves.append(wave)
+            start += size
+        if start < len(vins):
+            waves.append(list(vins[start:]))
+        return waves
+
+
+@dataclass(frozen=True)
+class FixedWaves(WavePolicy):
+    """Waves of a constant vehicle count (the last takes the remainder)."""
+
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ConfigurationError(
+                f"fixed wave size must be positive (got {self.size})"
+            )
+
+    def partition(self, vins: Sequence[str]) -> list[list[str]]:
+        return self._chunks(
+            vins, [self.size] * math.ceil(len(vins) / self.size)
+        )
+
+
+@dataclass(frozen=True)
+class PercentageWaves(WavePolicy):
+    """Waves cut at cumulative fleet fractions, e.g. ``(0.05, 0.25, 1.0)``.
+
+    Fraction ``f`` means "after this wave, ceil(f * fleet) vehicles have
+    been targeted".  A trailing 1.0 is implied when absent.
+    """
+
+    fractions: tuple[float, ...] = (0.05, 0.25, 1.0)
+
+    def __post_init__(self) -> None:
+        if not self.fractions:
+            raise ConfigurationError("percentage waves need >= 1 fraction")
+        previous = 0.0
+        for fraction in self.fractions:
+            if not 0.0 < fraction <= 1.0:
+                raise ConfigurationError(
+                    f"wave fraction {fraction} outside (0, 1]"
+                )
+            if fraction <= previous:
+                raise ConfigurationError(
+                    f"wave fractions must increase (got {self.fractions})"
+                )
+            previous = fraction
+
+    def partition(self, vins: Sequence[str]) -> list[list[str]]:
+        n = len(vins)
+        waves: list[list[str]] = []
+        start = 0
+        for fraction in self.fractions:
+            cut = min(n, math.ceil(fraction * n))
+            if cut > start:
+                waves.append(list(vins[start:cut]))
+                start = cut
+        if start < n:
+            waves.append(list(vins[start:]))
+        return waves
+
+
+@dataclass(frozen=True)
+class ExponentialWaves(WavePolicy):
+    """Waves that grow geometrically: ``initial``, ``initial*factor``, ...
+
+    The classic canary shape — touch a handful of vehicles, then double
+    (or more) each time confidence grows.
+    """
+
+    initial: int = 1
+    factor: int = 2
+
+    def __post_init__(self) -> None:
+        if self.initial <= 0:
+            raise ConfigurationError(
+                f"initial wave size must be positive (got {self.initial})"
+            )
+        if self.factor < 2:
+            raise ConfigurationError(
+                f"exponential wave factor must be >= 2 (got {self.factor})"
+            )
+
+    def partition(self, vins: Sequence[str]) -> list[list[str]]:
+        sizes = []
+        size, remaining = self.initial, len(vins)
+        while remaining > 0:
+            sizes.append(size)
+            remaining -= size
+            size *= self.factor
+        return self._chunks(vins, sizes)
+
+
+# -- gates and reactions -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Thresholds a wave must satisfy before the rollout promotes.
+
+    Rates are fractions of the wave's *attempted* vehicles (accepted by
+    the server; rejected VINs are excluded up front).  ``None`` disables
+    a threshold.
+    """
+
+    max_failure_rate: Optional[float] = 0.1
+    max_timeout_rate: Optional[float] = 0.1
+    min_ack_rate: Optional[float] = None
+
+    def breaches(
+        self, attempted: int, updated: int, failed: int, timed_out: int
+    ) -> list[str]:
+        """Human-readable threshold violations (empty = gate passes)."""
+        if attempted <= 0:
+            return []
+        problems = []
+        failure_rate = failed / attempted
+        timeout_rate = timed_out / attempted
+        ack_rate = updated / attempted
+        if (
+            self.max_failure_rate is not None
+            and failure_rate > self.max_failure_rate
+        ):
+            problems.append(
+                f"failure rate {failure_rate:.2f} > "
+                f"{self.max_failure_rate:.2f}"
+            )
+        if (
+            self.max_timeout_rate is not None
+            and timeout_rate > self.max_timeout_rate
+        ):
+            problems.append(
+                f"timeout rate {timeout_rate:.2f} > "
+                f"{self.max_timeout_rate:.2f}"
+            )
+        if self.min_ack_rate is not None and ack_rate < self.min_ack_rate:
+            problems.append(
+                f"ack rate {ack_rate:.2f} < {self.min_ack_rate:.2f}"
+            )
+        return problems
+
+
+#: Rollback scopes: undo the breaching wave, undo the whole campaign so
+#: far, or halt in place without touching installed vehicles.
+ROLLBACK_SCOPES = ("wave", "campaign", "none")
+
+
+@dataclass(frozen=True)
+class RollbackPolicy:
+    """What a health-gate breach does to already-updated vehicles."""
+
+    scope: str = "wave"
+    timeout_us: int = 60 * SECOND
+
+    def __post_init__(self) -> None:
+        if self.scope not in ROLLBACK_SCOPES:
+            raise ConfigurationError(
+                f"rollback scope must be one of {ROLLBACK_SCOPES} "
+                f"(got {self.scope!r})"
+            )
+
+
+# -- the campaign itself -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One staged fleet rollout, fully declared up front.
+
+    ``selector`` filters the platform's VINs (None targets every
+    vehicle).  With ``canary`` True the first wave is the canary: it
+    soaks for ``canary_soak_us`` after resolving and may use the
+    stricter ``canary_health`` thresholds.
+    """
+
+    app_name: str
+    waves: WavePolicy = field(default_factory=PercentageWaves)
+    selector: Optional[Callable[[str], bool]] = None
+    canary: bool = True
+    health: HealthPolicy = field(default_factory=HealthPolicy)
+    canary_health: Optional[HealthPolicy] = None
+    rollback: RollbackPolicy = field(default_factory=RollbackPolicy)
+    retry_budget: int = 1
+    #: Settle time before a retry is pushed.  Must exceed the spread of
+    #: one attempt's acknowledgements so stale NACKs from the failed
+    #: attempt land on the already-FAILED record instead of voiding the
+    #: retry (they cause no status transition, hence no event).
+    retry_backoff_us: int = 200 * MS
+    wave_timeout_us: int = 30 * SECOND
+    pause_us: int = 100 * MS
+    canary_soak_us: int = 500 * MS
+    user_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.app_name:
+            raise ConfigurationError("campaign needs an app_name")
+        if self.retry_budget < 0:
+            raise ConfigurationError(
+                f"retry budget must be >= 0 (got {self.retry_budget})"
+            )
+        if self.retry_backoff_us < 0:
+            raise ConfigurationError(
+                f"retry backoff must be >= 0 (got {self.retry_backoff_us})"
+            )
+        if self.wave_timeout_us <= 0:
+            raise ConfigurationError(
+                f"wave timeout must be positive (got {self.wave_timeout_us})"
+            )
+
+    def is_canary_wave(self, index: int, wave_count: int) -> bool:
+        """Whether wave ``index`` is the canary.
+
+        A single-wave campaign has no canary — there is nothing to
+        promote to, so canary gating/soaking would be meaningless.
+        """
+        return index == 0 and self.canary and wave_count > 1
+
+    def health_for_wave(self, index: int, wave_count: int) -> HealthPolicy:
+        if (
+            self.is_canary_wave(index, wave_count)
+            and self.canary_health is not None
+        ):
+            return self.canary_health
+        return self.health
+
+    def select_targets(self, vins: Sequence[str]) -> list[str]:
+        if self.selector is None:
+            return list(vins)
+        return [vin for vin in vins if self.selector(vin)]
+
+
+__all__ = [
+    "WavePolicy",
+    "FixedWaves",
+    "PercentageWaves",
+    "ExponentialWaves",
+    "HealthPolicy",
+    "RollbackPolicy",
+    "ROLLBACK_SCOPES",
+    "CampaignSpec",
+]

@@ -125,10 +125,15 @@ class EcmPirte(Pirte):
 
     @property
     def connected(self) -> bool:
-        return self._server is not None
+        return self._server is not None and not self._server.closed
 
     def send_to_server(self, raw: bytes) -> None:
         """Send bytes to the trusted server (queued until connected)."""
+        if self._server is not None and self._server.closed:
+            # The link was severed (vehicle offline / server cut us off):
+            # fall back to buffering until the next successful dial.
+            self._server = None
+            self._trace("server_link_lost")
         if self._server is None:
             self._server_outbox.append(raw)
         else:

@@ -22,6 +22,7 @@ _EXPORTS = {
     "Fleet": "repro.fes.fleet",
     "build_fleet": "repro.fes.fleet",
     "build_fleet_from_specs": "repro.fes.fleet",
+    "canary_campaign": "repro.fes.fleet",
     "ReceivedValue": "repro.fes.phone",
     "Smartphone": "repro.fes.phone",
     "LegacyComponent": "repro.fes.vehicle",

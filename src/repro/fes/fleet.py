@@ -16,6 +16,7 @@ from typing import Callable, Iterable, Optional
 
 from repro.api.builder import ScenarioBuilder
 from repro.api.platform import Platform
+from repro.campaign.spec import CampaignSpec, HealthPolicy, PercentageWaves
 from repro.fes.example_platform import make_example_vehicle_spec
 from repro.fes.vehicle import VehicleSpec
 from repro.network.channel import ChannelProfile
@@ -27,12 +28,39 @@ class Fleet(Platform):
 
     ``run()`` boots lazily and exactly once (the ``_booted`` guard in
     :class:`Platform`), so repeated ``run()`` calls never re-boot
-    already-running vehicles.
+    already-running vehicles.  Staged rollouts ride on the inherited
+    :meth:`~repro.api.platform.Platform.run_campaign`; see
+    :func:`canary_campaign` for the canonical spec shape.
     """
 
     def run(self, duration_us: int) -> None:
         self.boot()
         self.sim.run_for(duration_us)
+
+
+def canary_campaign(
+    app_name: str,
+    fractions: tuple[float, ...] = (0.05, 0.25, 1.0),
+    max_failure_rate: float = 0.1,
+    max_timeout_rate: float = 0.1,
+    **overrides,
+) -> CampaignSpec:
+    """The canonical staged-rollout spec for a fleet.
+
+    A canary wave covering the first fraction, progressively larger
+    waves after it, and a shared health gate.  Extra keyword arguments
+    forward to :class:`~repro.campaign.spec.CampaignSpec` (retry
+    budget, rollback policy, timeouts, ...).
+    """
+    return CampaignSpec(
+        app_name=app_name,
+        waves=PercentageWaves(tuple(fractions)),
+        health=HealthPolicy(
+            max_failure_rate=max_failure_rate,
+            max_timeout_rate=max_timeout_rate,
+        ),
+        **overrides,
+    )
 
 
 def build_fleet(
@@ -82,4 +110,9 @@ def build_fleet_from_specs(
     return scenario.build(platform_cls=Fleet)
 
 
-__all__ = ["Fleet", "build_fleet", "build_fleet_from_specs"]
+__all__ = [
+    "Fleet",
+    "build_fleet",
+    "build_fleet_from_specs",
+    "canary_campaign",
+]

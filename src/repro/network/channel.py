@@ -12,11 +12,12 @@ ordered transport such as TCP, which the paper's ECM uses).
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.errors import ChannelClosedError
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import EventHandle, Simulator
 from repro.sim.random import SeededStream
 from repro.sim.tracing import Tracer
 
@@ -72,6 +73,8 @@ class Channel:
         self._receiver: Optional[Callable[[Any], None]] = None
         self._closed = False
         self._last_delivery_time = 0
+        self._in_flight: dict[int, tuple[EventHandle, Any]] = {}
+        self._in_flight_keys = itertools.count()
         self.sent = 0
         self.delivered = 0
         self.dropped = 0
@@ -116,11 +119,33 @@ class Channel:
             self.tracer.emit(
                 self.sim.now, "net", "send", channel=self.name, size=size
             )
-        self.sim.schedule_at(
-            arrival, lambda: self._deliver(message), f"net:{self.name}"
+        key = next(self._in_flight_keys)
+        handle = self.sim.schedule_at(
+            arrival, lambda: self._deliver(message, key), f"net:{self.name}"
         )
+        self._in_flight[key] = (handle, message)
 
-    def _deliver(self, message: Any) -> None:
+    @property
+    def in_flight(self) -> int:
+        """Messages sent but not yet delivered (nor dropped)."""
+        return len(self._in_flight)
+
+    def drain_in_flight(self) -> list[Any]:
+        """Cancel every undelivered message; returns them in send order.
+
+        Models a link that is severed mid-transfer: the caller (e.g. the
+        server's pusher on ``disconnect``) can re-queue the reclaimed
+        messages instead of silently losing them.
+        """
+        drained = []
+        for handle, message in self._in_flight.values():
+            if self.sim.cancel(handle):
+                drained.append(message)
+        self._in_flight.clear()
+        return drained
+
+    def _deliver(self, message: Any, key: int) -> None:
+        self._in_flight.pop(key, None)
         if self._closed or self._receiver is None:
             return
         self.delivered += 1

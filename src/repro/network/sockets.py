@@ -60,6 +60,14 @@ class Endpoint:
         else:
             self._callback(message)
 
+    def drain_unsent(self) -> list[Any]:
+        """Reclaim outbound messages still in flight toward the peer.
+
+        Cancels their deliveries and returns them in send order, so the
+        caller can re-queue them before closing a severed connection.
+        """
+        return self._tx.drain_in_flight()
+
     def close(self) -> None:
         """Close the underlying transmit/receive channels."""
         self._tx.close()

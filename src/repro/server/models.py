@@ -114,13 +114,20 @@ class InstallStatus(enum.Enum):
 
 @dataclass
 class InstalledPlugin:
-    """Record of one deployed plug-in (InstalledAPP row detail)."""
+    """Record of one deployed plug-in (InstalledAPP row detail).
+
+    ``acked`` records a positive installation acknowledgement;
+    ``nacked`` a negative one.  Both False means the vehicle has not
+    answered yet (in flight, offline, or lost) — campaign health gates
+    need that three-way distinction.
+    """
 
     plugin_name: str
     swc_name: str
     ecu_name: str
     port_ids: tuple[int, ...]
     acked: bool = False
+    nacked: bool = False
 
 
 @dataclass

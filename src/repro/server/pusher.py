@@ -4,15 +4,50 @@ The pusher listens on the server's pre-defined address; each vehicle's
 ECM dials in at start-up (identified by its VIN as client name).  The
 pusher sends management messages downstream and hands every upstream
 message (acks) to a callback installed by the web services.
+
+Robustness model: a vehicle may go offline at any moment (the fleet
+campaign fault injector forces this through :meth:`Pusher.disconnect`).
+Messages pushed while a vehicle is offline land in a bounded per-VIN
+outbox and are flushed on reconnection; when the cap is hit the oldest
+message is discarded and counted in :attr:`Pusher.dropped_messages`.
+An optional :attr:`push filter <Pusher.set_push_filter>` lets test
+harnesses drop or delay individual downstream messages deterministically.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 from typing import Callable, Deque, Optional
 
-from repro.errors import ServerError
 from repro.network.sockets import Endpoint, NetworkFabric
+
+#: Default bound on each per-VIN offline outbox.
+DEFAULT_OUTBOX_LIMIT = 256
+
+
+@dataclass(frozen=True)
+class PushVerdict:
+    """Decision of a push filter for one downstream message.
+
+    ``deliver=False`` silently drops the message; ``delay_us > 0``
+    postpones the send by that much simulated time.
+    """
+
+    deliver: bool = True
+    delay_us: int = 0
+
+    @classmethod
+    def allow(cls) -> "PushVerdict":
+        return cls()
+
+    @classmethod
+    def drop(cls) -> "PushVerdict":
+        return cls(deliver=False)
+
+    @classmethod
+    def delay(cls, delay_us: int) -> "PushVerdict":
+        return cls(deliver=True, delay_us=delay_us)
 
 
 class Pusher:
@@ -22,18 +57,36 @@ class Pusher:
         self,
         fabric: NetworkFabric,
         address: str,
+        outbox_limit: int = DEFAULT_OUTBOX_LIMIT,
     ) -> None:
         self.address = address
+        self.outbox_limit = outbox_limit
+        self._sim = fabric.sim
         self._connections: dict[str, Endpoint] = {}
         self._outboxes: dict[str, Deque[bytes]] = {}
         self._on_upstream: Optional[Callable[[str, bytes], None]] = None
+        self._push_filter: Optional[Callable[[str, bytes], PushVerdict]] = None
         self.pushed = 0
         self.received = 0
+        self.dropped_messages = 0
+        self.filtered_messages = 0
+        self.disconnects = 0
         fabric.listen(address, self._on_connect)
 
     def on_upstream(self, callback: Callable[[str, bytes], None]) -> None:
         """Install the handler for messages arriving from vehicles."""
         self._on_upstream = callback
+
+    def set_push_filter(
+        self, callback: Optional[Callable[[str, bytes], "PushVerdict"]]
+    ) -> None:
+        """Install (or clear) a filter consulted on every fresh push.
+
+        The filter sees ``(vin, raw)`` and returns a :class:`PushVerdict`.
+        Outbox flushes on reconnection bypass the filter — those messages
+        already passed it once.
+        """
+        self._push_filter = callback
 
     def _on_connect(self, endpoint: Endpoint, client_name: str) -> None:
         self._connections[client_name] = endpoint
@@ -51,23 +104,78 @@ class Pusher:
         if self._on_upstream is not None:
             self._on_upstream(vin, raw)
 
+    def inject_upstream(self, vin: str, raw: bytes) -> None:
+        """Deliver ``raw`` as if the vehicle had sent it (fault/test hook)."""
+        self._upstream(vin, raw)
+
     def is_connected(self, vin: str) -> bool:
-        return vin in self._connections
+        connection = self._connections.get(vin)
+        return connection is not None and not connection.closed
 
     def connected_vins(self) -> list[str]:
-        return list(self._connections)
+        return [vin for vin in self._connections if self.is_connected(vin)]
+
+    def disconnect(self, vin: str) -> int:
+        """Sever the connection to ``vin`` (vehicle went offline).
+
+        Outbound messages still in flight on the link are reclaimed into
+        the offline outbox (front of the queue, original order), so they
+        are re-sent when the vehicle dials back in.  Returns the number
+        of re-queued messages; the vehicle's upstream in-flight traffic
+        is lost, as a real link cut would lose it.
+        """
+        endpoint = self._connections.pop(vin, None)
+        if endpoint is None:
+            return 0
+        in_flight = endpoint.drain_unsent()
+        endpoint.close()
+        self.disconnects += 1
+        outbox = self._outboxes.setdefault(vin, deque())
+        for raw in reversed(in_flight):
+            outbox.appendleft(raw)
+        self._enforce_outbox_limit(outbox)
+        return len(in_flight)
 
     def push(self, vin: str, raw: bytes) -> None:
         """Send bytes to a vehicle, queueing while it is offline."""
-        if vin in self._connections:
+        if self._push_filter is not None:
+            verdict = self._push_filter(vin, raw)
+            if not verdict.deliver:
+                self.filtered_messages += 1
+                return
+            if verdict.delay_us > 0:
+                self._sim.schedule(
+                    verdict.delay_us,
+                    lambda: self._push_unfiltered(vin, raw),
+                    f"pusher:delayed:{vin}",
+                )
+                return
+        self._push_unfiltered(vin, raw)
+
+    def _push_unfiltered(self, vin: str, raw: bytes) -> None:
+        if self.is_connected(vin):
             self._send_now(vin, raw)
         else:
-            self._outboxes.setdefault(vin, deque()).append(raw)
+            self._queue_offline(vin, raw)
+
+    def _queue_offline(self, vin: str, raw: bytes) -> None:
+        outbox = self._outboxes.setdefault(vin, deque())
+        outbox.append(raw)
+        self._enforce_outbox_limit(outbox)
+
+    def _enforce_outbox_limit(self, outbox: Deque[bytes]) -> None:
+        while len(outbox) > self.outbox_limit:
+            outbox.popleft()
+            self.dropped_messages += 1
 
     def _send_now(self, vin: str, raw: bytes) -> None:
-        endpoint = self._connections[vin]
-        if endpoint.closed:
-            raise ServerError(f"connection to {vin} is closed")
+        endpoint = self._connections.get(vin)
+        if endpoint is None or endpoint.closed:
+            # The connection died under us (vehicle side closed): treat
+            # as offline and keep the message for the reconnection.
+            self._connections.pop(vin, None)
+            self._queue_offline(vin, raw)
+            return
         endpoint.send(raw, size=len(raw))
         self.pushed += 1
 
@@ -76,4 +184,4 @@ class Pusher:
         return len(self._outboxes.get(vin, ()))
 
 
-__all__ = ["Pusher"]
+__all__ = ["Pusher", "PushVerdict", "DEFAULT_OUTBOX_LIMIT"]

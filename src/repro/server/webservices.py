@@ -8,7 +8,7 @@ compatibility checker, the context generator, and the pusher.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Iterable, NamedTuple, Optional
 
 from repro.core import messages as msg
 from repro.errors import ServerError, UnknownEntityError
@@ -47,6 +47,39 @@ class _PluginRecord(InstalledPlugin):
     footprint: int = 0
 
 
+class InstallProgress(NamedTuple):
+    """Per-install ack tally: positive, negative, and expected acks.
+
+    A failed (NACK'd) plug-in is NOT pending — campaign health gates
+    must distinguish "the vehicle said no" from "no answer yet".
+    """
+
+    acked: int
+    failed: int
+    total: int
+
+    @property
+    def pending(self) -> int:
+        return self.total - self.acked - self.failed
+
+
+@dataclass(frozen=True)
+class ServerEvent:
+    """Notification emitted when an installation record changes state.
+
+    ``kind`` is one of ``install_resolved`` (status reached ACTIVE or
+    FAILED), ``uninstall_done`` (record removed after all uninstall
+    acks), or ``uninstall_failed`` (a negative uninstall ack).
+    Campaign engines subscribe via :meth:`WebServices.add_listener`
+    instead of polling statuses.
+    """
+
+    kind: str
+    vin: str
+    app_name: str
+    status: Optional[InstallStatus] = None
+
+
 class WebServices:
     """The server's operation facade."""
 
@@ -59,6 +92,30 @@ class WebServices:
         self.acks_processed = 0
         # (vin, app_name) -> user_id: update waiting for uninstall acks.
         self._pending_updates: dict[tuple[str, str], str] = {}
+        self._listeners: list[Callable[[ServerEvent], None]] = []
+
+    # -- events ----------------------------------------------------------------
+
+    def add_listener(self, callback: Callable[[ServerEvent], None]) -> None:
+        """Subscribe to installation state-change events."""
+        if callback not in self._listeners:
+            self._listeners.append(callback)
+
+    def remove_listener(self, callback: Callable[[ServerEvent], None]) -> None:
+        """Unsubscribe a previously added listener (no-op if absent)."""
+        if callback in self._listeners:
+            self._listeners.remove(callback)
+
+    def _emit(
+        self,
+        kind: str,
+        vin: str,
+        app_name: str,
+        status: Optional[InstallStatus] = None,
+    ) -> None:
+        event = ServerEvent(kind, vin, app_name, status)
+        for callback in list(self._listeners):
+            callback(event)
 
     # -- user setup ------------------------------------------------------------
 
@@ -153,6 +210,95 @@ class WebServices:
         pushed = 0
         for record in installed.plugins:
             record.acked = False
+            record.nacked = False
+            raw = msg.UninstallMessage(
+                record.plugin_name, record.ecu_name, record.swc_name
+            ).encode()
+            self.pusher.push(vin, raw)
+            pushed += 1
+        return OperationResult(True, [], pushed_messages=pushed)
+
+    # -- batch / campaign operations -------------------------------------------
+
+    def deploy_batch(
+        self, user_id: str, vins: Iterable[str], app_name: str
+    ) -> dict[str, OperationResult]:
+        """Install an APP on many vehicles; per-VIN acceptance results.
+
+        The campaign engine's wave dispatch: one server pass pushes a
+        whole wave's packages instead of N independent portal requests.
+        """
+        return {vin: self.deploy(user_id, vin, app_name) for vin in vins}
+
+    def uninstall_batch(
+        self, user_id: str, vins: Iterable[str], app_name: str
+    ) -> dict[str, OperationResult]:
+        """Remove an APP from many vehicles (campaign rollback path)."""
+        return {vin: self.uninstall(user_id, vin, app_name) for vin in vins}
+
+    def retry_install(
+        self, user_id: str, vin: str, app_name: str
+    ) -> OperationResult:
+        """Re-push the unacknowledged plug-ins of a stuck installation.
+
+        Valid while the install is PENDING (acks lost / vehicle offline)
+        or FAILED (negative ack): already-acked plug-ins are left alone,
+        the rest are re-sent from the stored packages and the status
+        returns to PENDING.  This is the campaign engine's retry-budget
+        primitive.
+        """
+        vehicle = self._authorized_vehicle(user_id, vin)
+        installed = vehicle.conf.installed.get(app_name)
+        if installed is None:
+            return OperationResult(
+                False, [f"APP {app_name} is not installed on {vin}"]
+            )
+        if installed.status not in (InstallStatus.PENDING, InstallStatus.FAILED):
+            return OperationResult(
+                False,
+                [
+                    f"APP {app_name} on {vin} is {installed.status.value}; "
+                    f"only pending/failed installs can be retried"
+                ],
+            )
+        pushed = 0
+        for record in installed.plugins:
+            if record.acked:
+                continue
+            if not isinstance(record, _PluginRecord) or not record.package:
+                raise ServerError(
+                    f"no stored package for plug-in {record.plugin_name}"
+                )
+            record.nacked = False
+            self.pusher.push(vin, record.package)
+            pushed += 1
+        if pushed == 0:
+            return OperationResult(
+                False, [f"APP {app_name} on {vin} has nothing to retry"]
+            )
+        installed.status = InstallStatus.PENDING
+        return OperationResult(True, [], pushed_messages=pushed)
+
+    def abandon(self, user_id: str, vin: str, app_name: str) -> OperationResult:
+        """Drop a failed/stuck installation record (rollback cleanup).
+
+        Unlike :meth:`uninstall`, the record is removed immediately and
+        no acknowledgements are awaited: uninstall messages go out
+        best-effort for the plug-ins the vehicle did confirm, and the
+        vehicle is flagged for workshop attention.  Used by campaign
+        rollback when an install never fully happened.
+        """
+        vehicle = self._authorized_vehicle(user_id, vin)
+        installed = vehicle.conf.installed.pop(app_name, None)
+        if installed is None:
+            return OperationResult(
+                False, [f"APP {app_name} is not installed on {vin}"]
+            )
+        self._pending_updates.pop((vin, app_name), None)
+        pushed = 0
+        for record in installed.plugins:
+            if not record.acked:
+                continue
             raw = msg.UninstallMessage(
                 record.plugin_name, record.ecu_name, record.swc_name
             ).encode()
@@ -202,6 +348,7 @@ class WebServices:
                         f"no stored package for plug-in {record.plugin_name}"
                     )
                 record.acked = False
+                record.nacked = False
                 installed.status = InstallStatus.PENDING
                 self.pusher.push(vin, record.package)
                 pushed += 1
@@ -239,6 +386,7 @@ class WebServices:
                 if not isinstance(record, _PluginRecord) or not record.package:
                     continue
                 record.acked = False
+                record.nacked = False
                 installed.status = InstallStatus.PENDING
                 self.pusher.push(vin, record.package)
                 pushed += 1
@@ -275,15 +423,36 @@ class WebServices:
         if message.op is msg.MessageType.INSTALL:
             if message.ok:
                 record.acked = True
+                record.nacked = False
                 if installed.all_acked():
                     installed.status = InstallStatus.ACTIVE
+                    self._emit(
+                        "install_resolved", vehicle.vin, installed.app_name,
+                        InstallStatus.ACTIVE,
+                    )
             else:
+                if record.acked:
+                    # The plug-in is already confirmed installed; this
+                    # NACK answers a stale duplicate package (e.g. a
+                    # retry raced a delayed original).  The vehicle is
+                    # healthy — do not demote the record.
+                    return
+                record.nacked = True
+                previous = installed.status
                 installed.status = InstallStatus.FAILED
+                if previous is not InstallStatus.FAILED:
+                    self._emit(
+                        "install_resolved", vehicle.vin, installed.app_name,
+                        InstallStatus.FAILED,
+                    )
         elif message.op is msg.MessageType.UNINSTALL:
             if message.ok:
                 record.acked = True
                 if installed.all_acked():
                     del vehicle.conf.installed[installed.app_name]
+                    self._emit(
+                        "uninstall_done", vehicle.vin, installed.app_name
+                    )
                     # A pending update re-deploys the new version now.
                     user_id = self._pending_updates.pop(
                         (vehicle.vin, installed.app_name), None
@@ -292,6 +461,10 @@ class WebServices:
                         self.deploy(user_id, vehicle.vin, installed.app_name)
             else:
                 installed.status = InstallStatus.FAILED
+                self._emit(
+                    "uninstall_failed", vehicle.vin, installed.app_name,
+                    InstallStatus.FAILED,
+                )
 
     # -- queries ------------------------------------------------------------------------
 
@@ -303,17 +476,20 @@ class WebServices:
 
     def installation_progress(
         self, vin: str, app_name: str
-    ) -> tuple[int, int]:
-        """``(acked, total)`` plug-in acknowledgements for one install.
+    ) -> InstallProgress:
+        """Ack tally ``(acked, failed, total)`` for one installation.
 
-        ``(0, 0)`` when no installation record exists (never deployed,
-        or fully uninstalled).
+        A negatively acknowledged plug-in counts as ``failed``, not as
+        pending — health gates must not mistake a NACK for an install
+        that is still on its way.  ``(0, 0, 0)`` when no installation
+        record exists (never deployed, or fully uninstalled).
         """
         installed = self.db.installation(vin, app_name)
         if installed is None:
-            return (0, 0)
-        return (
+            return InstallProgress(0, 0, 0)
+        return InstallProgress(
             sum(1 for record in installed.plugins if record.acked),
+            sum(1 for record in installed.plugins if record.nacked),
             len(installed.plugins),
         )
 
@@ -373,4 +549,9 @@ class WebServices:
                 )
 
 
-__all__ = ["OperationResult", "WebServices"]
+__all__ = [
+    "InstallProgress",
+    "OperationResult",
+    "ServerEvent",
+    "WebServices",
+]

@@ -129,7 +129,8 @@ class TestScenarioRoundTrip:
         elapsed = deployment.wait(30 * SECOND)
         assert elapsed > 0
         assert deployment.statuses() == {"VIN-TRI": InstallStatus.ACTIVE}
-        assert deployment.acks("VIN-TRI") == (3, 3)
+        assert deployment.acks("VIN-TRI") == (3, 0, 3)
+        assert deployment.acks("VIN-TRI").pending == 0
 
         # One phone command fans out across both downstream ECUs.
         platform.phone(PHONE).send("Cmd", 7)
