@@ -17,12 +17,11 @@ three ROADMAP axes.
   produce byte-identical reports.
 """
 
-import json
 import time
 from dataclasses import replace
 from pathlib import Path
 
-from benchmarks.conftest import ROOT  # noqa: F401
+from benchmarks.conftest import ROOT, record_section  # noqa: F401
 from repro import FaultPlan, FixedWaves, PercentageWaves
 from repro.analysis import print_table
 from repro.fes import canary_campaign
@@ -34,16 +33,14 @@ OUTPUT = Path(ROOT) / "BENCH_campaign.json"
 
 
 def _record(section, payload):
-    data = {}
-    if OUTPUT.exists():
-        data = json.loads(OUTPUT.read_text())
-    data[section] = payload
-    OUTPUT.write_text(json.dumps(data, indent=2) + "\n")
+    record_section(OUTPUT, section, payload)
 
 
 def _campaign(size, spec, faults=None, seed=3):
     fleet = build_fleet(size, seed=seed)
-    fleet.server.web.upload_app(make_remote_control_app(PHONE_ADDRESS))
+    fleet.server.api.store.upload(
+        make_remote_control_app(PHONE_ADDRESS)
+    ).unwrap()
     start = time.perf_counter()
     report = fleet.run_campaign(spec, faults=faults)
     wall = time.perf_counter() - start

@@ -28,7 +28,9 @@ from repro.sim import SECOND
 def deploy_fleet(size, seed=0):
     """Simulated time until the APP is ACTIVE on every vehicle."""
     fleet = build_fleet(size, seed=seed)
-    fleet.server.web.upload_app(make_remote_control_app(PHONE_ADDRESS))
+    fleet.server.api.store.upload(
+        make_remote_control_app(PHONE_ADDRESS)
+    ).unwrap()
     fleet.boot()
     fleet.sim.run_for(1 * SECOND)  # ECMs connect
     campaign = fleet.deploy_everywhere("remote-control")
@@ -102,7 +104,7 @@ def test_deploy_scales_with_package_size(benchmark):
             padded = _padded_app(pad_kb)
         else:
             padded = app
-        fleet.server.web.upload_app(padded)
+        fleet.server.api.store.upload(padded).unwrap()
         fleet.boot()
         fleet.sim.run_for(1 * SECOND)
         campaign = fleet.deploy_everywhere(padded.name)

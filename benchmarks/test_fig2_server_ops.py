@@ -26,7 +26,7 @@ from repro.workloads import SyntheticConfig, populate_server
 def make_server(n_apps, n_vehicles, installed_per_vehicle=0):
     server = TrustedServer(NetworkFabric(Simulator()))
     config = SyntheticConfig()
-    populate_server(server.web, config, n_apps=n_apps, n_vehicles=n_vehicles)
+    populate_server(server.api, config, n_apps=n_apps, n_vehicles=n_vehicles)
     # Pre-install APPs (vehicles are offline: packages queue, records
     # exist, which is what the allocator and checks look at).
     free_apps = [
@@ -35,7 +35,7 @@ def make_server(n_apps, n_vehicles, installed_per_vehicle=0):
     for v_index in range(n_vehicles):
         vin = f"SYNTH-{v_index:05d}"
         for app_name in free_apps[:installed_per_vehicle]:
-            server.web.deploy("u0", vin, app_name)
+            server.api.deployments.deploy("u0", vin, app_name)
     return server
 
 
@@ -76,7 +76,7 @@ def test_fig2_server_operations(benchmark):
         ctxgen_us = _time_op(lambda: generate_packages(app, conf, vehicle))
 
         def deploy_cycle():
-            result = server.web.deploy("u0", fresh_vin, app.name)
+            result = server.api.deployments.deploy("u0", fresh_vin, app.name)
             if result.ok:
                 # Roll back so the next repeat measures the same path.
                 del server.db.vehicle(fresh_vin).conf.installed[app.name]

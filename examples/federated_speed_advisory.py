@@ -139,7 +139,7 @@ def main() -> None:
     print(f"== building a federation of {fleet_size} vehicles ==")
     fleet = build_fleet(fleet_size, seed=11, spec_factory=make_fes_vehicle_spec)
     advisory = Smartphone(fleet.fabric, ADVISORY_ADDRESS, fleet.sim)
-    fleet.server.web.upload_app(make_advisory_app())
+    fleet.server.api.store.upload(make_advisory_app()).unwrap()
     fleet.boot()
     fleet.sim.run_for(1 * SECOND)
 

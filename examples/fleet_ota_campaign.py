@@ -11,10 +11,14 @@ is flagged for the workshop — and the whole run is deterministic.
 Flip ``max_failure_rate`` down to 0.05 to watch the same failure breach
 the gate and roll the wave back instead.
 
+The campaign runs through the server's fleet control plane: it is
+persisted as a ``cmp-NNNN`` database entity, and the closing portal
+queries show the record and a FleetSelector sweep over the fleet.
+
 Run:  python examples/fleet_ota_campaign.py
 """
 
-from repro import Disposition, FaultPlan, build_fleet
+from repro import Disposition, FaultPlan, FleetSelector, build_fleet
 from repro.baselines import ReflashParameters, ota_reflash_time_us
 from repro.fes import canary_campaign
 from repro.fes.example_platform import PHONE_ADDRESS, make_remote_control_app
@@ -24,8 +28,10 @@ from repro.sim import format_time
 def main() -> None:
     fleet_size = 12
     print(f"== building a fleet of {fleet_size} vehicles on one server ==")
-    fleet = build_fleet(fleet_size, seed=3)
-    fleet.server.web.upload_app(make_remote_control_app(PHONE_ADDRESS))
+    fleet = build_fleet(fleet_size, seed=3, regions=("eu-north", "na-east"))
+    fleet.server.api.store.upload(
+        make_remote_control_app(PHONE_ADDRESS)
+    ).unwrap()
 
     print("== declaring the campaign: 25% canary wave, then the rest ==")
     spec = canary_campaign(
@@ -48,6 +54,18 @@ def main() -> None:
     assert report.waves[0].canary and not report.waves[0].breaches
     assert report.waves[1].retries == 1  # the doomed VIN got its retry
     print("   report assertions hold: 11 updated, VIN-0005 -> workshop")
+
+    print("== portal view: the persisted campaign + a selector query ==")
+    record = fleet.api.campaigns.list().unwrap()[0]
+    print(f"   campaign {record.campaign_id}: status={record.status}, "
+          f"persisted report waves={len(record.report['waves'])}")
+    selector = FleetSelector.region("eu-north") & FleetSelector.installed(
+        "remote-control"
+    )
+    updated_eu = fleet.query(selector)
+    print(f"   eu-north vehicles running remote-control: "
+          f"{[view.vin for view in updated_eu]}")
+    assert all(view.region == "eu-north" for view in updated_eu)
 
     print("== comparison: classical full-image reflash baseline ==")
     elapsed = report.finished_us - report.started_us

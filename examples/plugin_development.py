@@ -106,7 +106,7 @@ def make_cruise_app(binary_raw: bytes) -> App:
 def deploy_phase(binary_raw: bytes) -> None:
     print("== 3. upload the APP and deploy it to a real vehicle ==")
     platform = build_example_platform(seed=5)
-    platform.server.web.upload_app(make_cruise_app(binary_raw))
+    platform.server.api.store.upload(make_cruise_app(binary_raw)).unwrap()
     platform.boot()
     platform.run(1 * SECOND)
     deployment = platform.deploy("cruise-filter")

@@ -44,6 +44,7 @@ Composing your own scenario::
 """
 
 from repro.api import (
+    ApiError,
     AppBuilder,
     CampaignEngine,
     CampaignReport,
@@ -51,17 +52,22 @@ from repro.api import (
     Deployment,
     DeploymentTimeout,
     Disposition,
+    ErrorCode,
     ExponentialWaves,
     FaultPlan,
     FixedWaves,
+    FleetAPI,
+    FleetSelector,
     HealthPolicy,
     InstallStatus,
     PercentageWaves,
     Platform,
     PluginSwcSpec,
     RelayLink,
+    Response,
     RollbackPolicy,
     ScenarioBuilder,
+    SelectorWaves,
     ServicePort,
     VehicleBuilder,
 )
@@ -90,6 +96,13 @@ __all__ = [
     "RelayLink",
     "ServicePort",
     "InstallStatus",
+    # fleet control plane
+    "ApiError",
+    "ErrorCode",
+    "FleetAPI",
+    "FleetSelector",
+    "Response",
+    "SelectorWaves",
     # campaigns
     "CampaignEngine",
     "CampaignReport",

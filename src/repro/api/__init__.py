@@ -29,14 +29,30 @@ from repro.campaign import (
     HealthPolicy,
     PercentageWaves,
     RollbackPolicy,
+    SelectorWaves,
 )
 from repro.core.plugin_swc import PluginSwcSpec, RelayLink, ServicePort
 from repro.errors import ConfigurationError, DeploymentTimeout
 from repro.network.channel import CELLULAR, WIFI, WIRED, ChannelProfile
 from repro.server.models import App, InstallStatus
-from repro.server.webservices import InstallProgress
+from repro.server.services import (
+    ApiError,
+    ErrorCode,
+    FleetAPI,
+    FleetSelector,
+    InstallProgress,
+    Response,
+    VehicleView,
+)
 
 __all__ = [
+    "ApiError",
+    "ErrorCode",
+    "FleetAPI",
+    "FleetSelector",
+    "Response",
+    "SelectorWaves",
+    "VehicleView",
     "ScenarioBuilder",
     "VehicleBuilder",
     "AppBuilder",

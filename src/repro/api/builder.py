@@ -73,12 +73,22 @@ class VehicleBuilder:
         self._scenario = scenario
         self.vin = vin
         self.model = model
+        self._region = ""
         self._ecus: list[str] = []
         self._ecm: Optional[PluginSwcPlacement] = None
         self._plugin_swcs: list[PluginSwcPlacement] = []
         self._legacy: list[LegacyComponent] = []
         self._connectors: list[tuple[str, str, str, str]] = []
         self._can_bitrate = 500_000
+
+    def region(self, name: str) -> "VehicleBuilder":
+        """Declare the deployment region the vehicle registers under.
+
+        Regions are free-form sharding attributes — FleetSelector
+        queries and selector-based campaign waves key on them.
+        """
+        self._region = name
+        return self
 
     # -- hardware ------------------------------------------------------------
 
@@ -266,6 +276,7 @@ class VehicleBuilder:
         return VehicleSpec(
             vin=self.vin,
             model=self.model,
+            region=self._region,
             ecus=list(self._ecus),
             ecm=self._ecm,
             plugin_swcs=list(self._plugin_swcs),
@@ -551,7 +562,7 @@ class ScenarioBuilder:
         users = self._users or [("user-1", "Default User")]
         owner = users[0][0]
         for user_id, name in users:
-            server.web.create_user(user_id, name)
+            server.api.vehicles.create_user(user_id, name).unwrap()
         phones = {}
         for address, profile in self._phones.items():
             phones[address] = Smartphone(fabric, address, sim)
@@ -561,11 +572,13 @@ class ScenarioBuilder:
             vehicle = build_vehicle(spec, fabric, sim=sim, tracer=tracer)
             vehicles.append(vehicle)
             hw, system_sw = spec.describe_for_server()
-            server.web.register_vehicle(spec.vin, spec.model, hw, system_sw)
-            server.web.bind_vehicle(owner, spec.vin)
+            server.api.vehicles.register(
+                spec.vin, spec.model, hw, system_sw, region=spec.region
+            ).unwrap()
+            server.api.vehicles.bind(owner, spec.vin).unwrap()
         for entry in self._apps:
             app = entry.to_app() if isinstance(entry, AppBuilder) else entry
-            server.web.upload_app(app)
+            server.api.store.upload(app).unwrap()
         return platform_cls(
             sim, tracer, fabric, server,
             vehicles=vehicles, phones=phones, user_id=owner,

@@ -2,12 +2,12 @@
 
 Every deploy operation on a :class:`~repro.api.platform.Platform` (one
 vehicle or a whole fleet) returns a :class:`Deployment`: one object that
-carries the per-vehicle :class:`~repro.server.webservices.OperationResult`
-acceptance outcomes, tracks per-vehicle installation status and plug-in
-acks against the trusted server's records, and can drive the simulation
-kernel forward until the campaign resolves (:meth:`Deployment.wait`) —
-replacing the ad-hoc ``OperationResult`` lists plus manual
-``installation_status`` polling loops.
+carries the per-vehicle acceptance
+:class:`~repro.server.services.envelope.Response` envelopes, tracks
+per-vehicle installation status and plug-in acks against the trusted
+server's records, and can drive the simulation kernel forward until the
+campaign resolves (:meth:`Deployment.wait`) — replacing ad-hoc result
+lists plus manual ``installation_status`` polling loops.
 """
 
 from __future__ import annotations
@@ -16,7 +16,8 @@ from typing import TYPE_CHECKING, Iterator, Optional
 
 from repro.errors import DeploymentTimeout, UnknownEntityError
 from repro.server.models import InstallStatus
-from repro.server.webservices import InstallProgress, OperationResult
+from repro.server.services.deployments import InstallProgress
+from repro.server.services.envelope import Response
 from repro.sim.kernel import MS, SECOND
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -29,7 +30,7 @@ TERMINAL_STATUSES = (InstallStatus.ACTIVE, InstallStatus.FAILED)
 class Deployment:
     """Handle over one APP deployment across one or more vehicles.
 
-    Iterating yields the per-vehicle :class:`OperationResult` objects in
+    Iterating yields the per-vehicle :class:`Response` envelopes in
     request order, so fleet code like ``sum(r.ok for r in deployment)``
     keeps working unchanged.
     """
@@ -38,7 +39,7 @@ class Deployment:
         self,
         platform: "Platform",
         app_name: str,
-        results: dict[str, OperationResult],
+        results: dict[str, Response],
     ) -> None:
         self._platform = platform
         self.app_name = app_name
@@ -47,13 +48,13 @@ class Deployment:
 
     # -- acceptance (synchronous part) ---------------------------------------
 
-    def __iter__(self) -> Iterator[OperationResult]:
+    def __iter__(self) -> Iterator[Response]:
         return iter(self.results.values())
 
     def __len__(self) -> int:
         return len(self.results)
 
-    def result(self, vin: str) -> OperationResult:
+    def result(self, vin: str) -> Response:
         """The server's synchronous accept/reject outcome for ``vin``."""
         try:
             return self.results[vin]
@@ -83,7 +84,7 @@ class Deployment:
 
     def status(self, vin: str) -> Optional[InstallStatus]:
         """Current server-side installation status for one vehicle."""
-        return self._platform.server.web.installation_status(
+        return self._platform.server.api.deployments.installation_status(
             vin, self.app_name
         )
 
@@ -97,7 +98,7 @@ class Deployment:
         ``failed`` counts negatively acknowledged plug-ins — distinct
         from pending ones, which simply have not answered yet.
         """
-        return self._platform.server.web.installation_progress(
+        return self._platform.server.api.deployments.installation_progress(
             vin, self.app_name
         )
 

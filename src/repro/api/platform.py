@@ -7,13 +7,18 @@ the old hard-coded ``ExamplePlatform`` (one car) and ``Fleet`` (N clones
 of that car) — both are now thin subclasses — and supports heterogeneous
 vehicle populations (mixed ECU counts, different models) in one build.
 
-Deploy operations return :class:`~repro.api.deployment.Deployment`
-handles instead of raw ``OperationResult`` lists.
+Operationally the platform is a thin client over the server's
+:class:`~repro.server.services.fleetapi.FleetAPI` control plane:
+deploys go through ``api.deployments``, fleet queries through
+``api.vehicles`` (``deploy_to`` accepts a
+:class:`~repro.server.services.selector.FleetSelector` as target set),
+and campaigns are persisted by ``api.campaigns`` — which is what makes
+:meth:`resume_campaign` after a simulated server restart possible.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Union
 
 from repro.api.deployment import Deployment
 from repro.campaign.engine import DEFAULT_RUN_TIMEOUT_US, CampaignEngine
@@ -26,6 +31,7 @@ from repro.fes.vehicle import Vehicle
 from repro.network.sockets import NetworkFabric
 from repro.server.models import InstallStatus
 from repro.server.server import TrustedServer
+from repro.server.services.selector import FleetSelector
 from repro.sim.kernel import Simulator
 from repro.sim.tracing import Tracer
 
@@ -59,8 +65,13 @@ class Platform:
     # -- lookups -------------------------------------------------------------
 
     @property
+    def api(self):
+        """The trusted server's fleet control plane (:class:`FleetAPI`)."""
+        return self.server.api
+
+    @property
     def web(self):
-        """The trusted server's web-services facade."""
+        """The legacy web-services facade (deprecation shim)."""
         return self.server.web
 
     @property
@@ -94,6 +105,24 @@ class Platform:
             raise UnknownEntityError(
                 f"platform has no phone at {address!r}"
             ) from None
+
+    def query(self, selector: Optional[FleetSelector] = None) -> list:
+        """Portal-style fleet query: :class:`VehicleView` rows."""
+        return self.api.vehicles.query(selector).unwrap()
+
+    def select_vins(self, selector: Optional[FleetSelector] = None) -> list[str]:
+        """VINs of this platform matching ``selector``.
+
+        Evaluates only this platform's own vehicles, not the whole
+        server registry — the two coincide for built platforms, but a
+        platform attached to a shared registry stays cheap.
+        """
+        if selector is None:
+            return self.vins
+        resolve = self.api.vehicles.resolve
+        return [
+            vin for vin in self.vins if selector.matches(resolve(vin))
+        ]
 
     # -- life cycle ----------------------------------------------------------
 
@@ -129,17 +158,27 @@ class Platform:
     def deploy_to(
         self,
         app_name: str,
-        vins: Iterable[str],
+        targets: Union[Iterable[str], FleetSelector],
         user_id: Optional[str] = None,
+        campaign: str = "",
     ) -> Deployment:
-        """Request installation of ``app_name`` on an explicit VIN set.
+        """Request installation of ``app_name`` on a target set.
 
+        ``targets`` is an explicit VIN iterable or a
+        :class:`FleetSelector` evaluated against this platform's own
+        vehicles (registry vehicles outside the platform are never
+        targeted — use ``api.vehicles.query`` for registry-wide reads).
         One batch server pass (the campaign engine's wave dispatch);
         returns the same unified :class:`Deployment` handle as
-        :meth:`deploy`.
+        :meth:`deploy`.  ``campaign`` tags the pushed packages for the
+        pusher's per-campaign outbox accounting.
         """
-        results = self.web.deploy_batch(
-            user_id or self.user_id, list(vins), app_name
+        if isinstance(targets, FleetSelector):
+            vins = self.select_vins(targets)
+        else:
+            vins = list(targets)
+        results = self.api.deployments.deploy_batch(
+            user_id or self.user_id, vins, app_name, campaign=campaign
         )
         return Deployment(self, app_name, results)
 
@@ -154,13 +193,24 @@ class Platform:
         spec: CampaignSpec,
         faults: Optional[FaultPlan] = None,
     ) -> CampaignEngine:
-        """Prepare a staged-rollout engine without starting it.
+        """Persist a campaign and prepare its engine without starting it.
 
-        Use this when a test or experiment wants to interleave its own
-        simulated-time control with the campaign; most callers want
-        :meth:`run_campaign`.
+        The campaign is registered with the server's
+        :class:`~repro.server.services.campaigns.CampaignService` — it
+        gets a ``cmp-NNNN`` id, a database record that survives a
+        simulated restart (when the spec is serializable), and admission
+        control against concurrent campaigns.  Use this when a test or
+        experiment wants to interleave its own simulated-time control
+        with the campaign; most callers want :meth:`run_campaign`.
         """
-        return CampaignEngine(self, spec, faults=faults)
+        record = self.api.campaigns.create(
+            spec, faults=faults, user_id=spec.user_id or self.user_id,
+            created_us=self.sim.now,
+        ).unwrap()
+        return CampaignEngine(
+            self, spec, faults=faults,
+            campaign_id=record.campaign_id, service=self.api.campaigns,
+        )
 
     def run_campaign(
         self,
@@ -178,6 +228,27 @@ class Platform:
             timeout_us=timeout_us
         )
 
+    def resume_campaign(
+        self,
+        campaign_id: str,
+        timeout_us: int = DEFAULT_RUN_TIMEOUT_US,
+    ) -> CampaignReport:
+        """Run a previously staged campaign from its persisted record.
+
+        The canonical restart flow::
+
+            engine = platform.stage_campaign(spec)   # persisted, not run
+            platform.server.restart()                # process state gone
+            platform.api.campaigns.load()            # recover records
+            report = platform.resume_campaign(engine.campaign_id)
+        """
+        spec, faults = self.api.campaigns.restage(campaign_id).unwrap()
+        engine = CampaignEngine(
+            self, spec, faults=faults,
+            campaign_id=campaign_id, service=self.api.campaigns,
+        )
+        return engine.run(timeout_us=timeout_us)
+
     def uninstall(
         self,
         app_name: str,
@@ -186,20 +257,23 @@ class Platform:
     ):
         """Request removal of ``app_name`` from one vehicle."""
         target = self._vehicle(vin).vin
-        return self.web.uninstall(user_id or self.user_id, target, app_name)
+        return self.api.deployments.uninstall(
+            user_id or self.user_id, target, app_name
+        )
 
     def installation_status(
         self, vin: str, app_name: str
     ) -> Optional[InstallStatus]:
-        return self.web.installation_status(vin, app_name)
+        """Server-side install status (single DeploymentService code path)."""
+        return self.api.deployments.installation_status(vin, app_name)
 
     def active_count(self, app_name: str) -> int:
         """Vehicles on which ``app_name`` is fully installed and acked."""
+        status = self.api.deployments.installation_status
         return sum(
             1
             for vehicle in self.vehicles
-            if self.web.installation_status(vehicle.vin, app_name)
-            is InstallStatus.ACTIVE
+            if status(vehicle.vin, app_name) is InstallStatus.ACTIVE
         )
 
     def run_until_active(
@@ -208,7 +282,7 @@ class Platform:
         """Advance time until all installs acked; returns elapsed us.
 
         Legacy polling interface kept for experiments that deploy
-        through the raw web services; new code should use
+        through the raw server operations; new code should use
         :meth:`deploy` and :meth:`Deployment.wait` instead.
         """
         self.boot()

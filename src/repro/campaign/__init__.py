@@ -39,6 +39,7 @@ from repro.campaign.spec import (
     HealthPolicy,
     PercentageWaves,
     RollbackPolicy,
+    SelectorWaves,
     WavePolicy,
 )
 
@@ -50,6 +51,7 @@ __all__ = [
     "FixedWaves",
     "PercentageWaves",
     "ExponentialWaves",
+    "SelectorWaves",
     "HealthPolicy",
     "RollbackPolicy",
     "FaultPlan",

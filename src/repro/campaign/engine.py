@@ -4,17 +4,25 @@ A :class:`CampaignEngine` drives one :class:`~repro.campaign.spec.CampaignSpec`
 against one :class:`~repro.api.platform.Platform`.  It never busy-waits:
 wave dispatch, health-gate evaluation, promotion, retries, and rollback
 all run as callbacks on the shared simulator, triggered either by the
-trusted server's installation events (see
-:meth:`~repro.server.webservices.WebServices.add_listener`) or by
-scheduled wave/rollback timeout timers.  ``run()`` simply steps the
-kernel until the campaign reaches a terminal status.
+control plane's installation events (see
+:meth:`~repro.server.services.deployments.DeploymentService.add_listener`)
+or by scheduled wave/rollback timeout timers.  ``run()`` simply steps
+the kernel until the campaign reaches a terminal status.
+
+Engines created through ``Platform.stage_campaign`` are registered with
+the server's :class:`~repro.server.services.campaigns.CampaignService`:
+the campaign is persisted as a database entity, its status and report
+are written back as it runs, and wave dispatch passes **admission
+control** — VINs held by another concurrent campaign (being updated or,
+critically, mid-rollback) are excluded up front with an
+``admission_denied`` event instead of being fought over.
 
 Life cycle of one wave::
 
-    dispatch (deploy_batch) ──> per-VIN install events ──┐
-          │ rejected VINs -> EXCLUDED                    │
-          └─ timeout timer ──> retries / TIMED_OUT ──────┤
-                                                         v
+    admission filter ──> dispatch (deploy_batch) ──> install events ──┐
+          │ denied -> EXCLUDED   │ rejected VINs -> EXCLUDED          │
+          │                      └─ timeout timer ──> retries ────────┤
+          v                                                           v
                                    gate: HealthPolicy.breaches()
                                      │ pass          │ breach
                                      v               v
@@ -40,7 +48,11 @@ from repro.campaign.report import (
 from repro.campaign.spec import CampaignSpec
 from repro.errors import ConfigurationError
 from repro.server.models import InstallStatus
-from repro.server.webservices import ServerEvent
+from repro.server.services.campaigns import (
+    PHASE_ROLLING_BACK,
+    CampaignService,
+)
+from repro.server.services.deployments import ServerEvent
 from repro.sim.kernel import SECOND, EventHandle
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -58,17 +70,26 @@ class CampaignEngine:
         platform: "Platform",
         spec: CampaignSpec,
         faults: Optional[FaultPlan] = None,
+        campaign_id: str = "",
+        service: Optional[CampaignService] = None,
     ) -> None:
         self.platform = platform
         self.spec = spec
+        self.campaign_id = campaign_id
+        self.service = service
         self.injector = (
             FaultInjector(platform, faults)
             if faults is not None and faults.active
             else None
         )
-        self.report = CampaignReport(app_name=spec.app_name)
+        self.report = CampaignReport(
+            app_name=spec.app_name, campaign_id=campaign_id
+        )
         self.done = False
         self._started = False
+        #: The control-plane generation this engine was built against; a
+        #: simulated server restart replaces it, orphaning this engine.
+        self._api = platform.server.api
         self._user_id = spec.user_id or platform.user_id
         self._wave_index = -1
         self._pending: set[str] = set()
@@ -81,8 +102,27 @@ class CampaignEngine:
     # -- plumbing --------------------------------------------------------------
 
     @property
-    def _web(self):
-        return self.platform.server.web
+    def _deployments(self):
+        return self._api.deployments
+
+    def _check_orphaned(self) -> bool:
+        """Retire quietly if a server restart replaced the control plane.
+
+        The engine's claims, listener registration, and record ownership
+        all lived in the pre-restart services; acting on the rebuilt
+        ones (abandoning records a resumed run re-created, overwriting
+        the record's post-restart status) would corrupt the successor's
+        state.  An orphaned engine stops without touching the database.
+        """
+        if self.platform.server.api is self._api:
+            return False
+        if not self.done:
+            self.done = True
+            self._disarm_timer()
+            self._api.deployments.remove_listener(self._on_server_event)
+            self.report.status = "orphaned"
+            self._log("campaign_orphaned", detail="server restarted")
+        return True
 
     @property
     def _sim(self):
@@ -100,6 +140,8 @@ class CampaignEngine:
         def guarded() -> None:
             if self.done or generation != self._timer_generation:
                 return
+            if self._check_orphaned():
+                return
             callback()
 
         self._timer = self._sim.schedule(delay_us, guarded, "campaign:timer")
@@ -110,6 +152,16 @@ class CampaignEngine:
             self._sim.cancel(self._timer)
             self._timer = None
 
+    # -- admission plumbing ----------------------------------------------------
+
+    def _claim(self, vins) -> None:
+        if self.service is not None:
+            self.service.claim(self.campaign_id, vins)
+
+    def _release(self, vins) -> None:
+        if self.service is not None:
+            self.service.release(self.campaign_id, vins)
+
     # -- life cycle ------------------------------------------------------------
 
     def start(self) -> None:
@@ -117,11 +169,14 @@ class CampaignEngine:
         if self._started:
             raise ConfigurationError("campaign engine already started")
         self._started = True
+        if self._check_orphaned():
+            return
         self.platform.boot()
         if self.injector is not None:
             self.injector.attach()
-        targets = self.spec.select_targets(self.platform.vins)
-        waves = self.spec.waves.partition(targets)
+        resolve = self.platform.server.api.vehicles.resolve
+        targets = self.spec.resolve_targets(self.platform.vins, resolve)
+        waves = self.spec.partition_targets(targets, resolve)
         self.report.started_us = self._sim.now
         self.report.waves = [
             WaveReport(
@@ -131,7 +186,9 @@ class CampaignEngine:
             )
             for index, wave in enumerate(waves)
         ]
-        self._web.add_listener(self._on_server_event)
+        self._deployments.add_listener(self._on_server_event)
+        if self.service is not None:
+            self.service.on_started(self.campaign_id, self._sim.now)
         if not waves:
             self._finish(SUCCEEDED)
             return
@@ -147,6 +204,8 @@ class CampaignEngine:
             self.start()
         deadline = self._sim.now + timeout_us
         while not self.done and self._sim.now < deadline:
+            if self._check_orphaned():
+                break
             if not self._sim.step():
                 break
         if not self.done:
@@ -154,7 +213,10 @@ class CampaignEngine:
             # everything still in flight (pending installs AND half-done
             # rollbacks) so a late ack cannot contradict the report.
             for vin in sorted(self._pending | self._rollback_pending):
-                self._web.abandon(self._user_id, vin, self.spec.app_name)
+                self._deployments.abandon(
+                    self._user_id, vin, self.spec.app_name,
+                    campaign=self.campaign_id,
+                )
                 self._set_disposition(vin, Disposition.NEEDS_WORKSHOP)
             self._pending.clear()
             self._rollback_pending.clear()
@@ -164,14 +226,25 @@ class CampaignEngine:
     # -- wave dispatch ---------------------------------------------------------
 
     def _start_wave(self, index: int) -> None:
-        if self.done:
+        if self.done or self._check_orphaned():
             return
         self._wave_index = index
         wave = self.report.waves[index]
         wave.started_us = self._sim.now
         self._log("wave_started", detail=f"{len(wave.vins)} vehicles")
+        denied = (
+            self.service.admit(self.campaign_id, wave.vins)
+            if self.service is not None
+            else {}
+        )
+        for vin in sorted(denied):
+            wave.excluded += 1
+            self._set_disposition(vin, Disposition.EXCLUDED)
+            self._log("admission_denied", vin, denied[vin])
+        targets = [vin for vin in wave.vins if vin not in denied]
         deployment = self.platform.deploy_to(
-            self.spec.app_name, wave.vins, user_id=self._user_id
+            self.spec.app_name, targets,
+            user_id=self._user_id, campaign=self.campaign_id,
         )
         self._pending = set()
         for vin, result in deployment.results.items():
@@ -185,6 +258,7 @@ class CampaignEngine:
                     "deploy_rejected", vin,
                     result.reasons[0] if result.reasons else "",
                 )
+        self._claim(sorted(self._pending))
         wave.attempted = len(self._pending)
         if self._pending:
             self._arm_timer(
@@ -192,12 +266,27 @@ class CampaignEngine:
                 lambda: self._on_wave_timeout(index),
             )
         else:
+            if wave.attempted == 0:
+                # Empty selector wave, or every VIN excluded/denied: the
+                # health gate will pass vacuously (nothing to measure).
+                # Make that visible — an operator watching a canary that
+                # never ran should know the fleet is promoted unvetted.
+                self._log(
+                    "empty_wave",
+                    detail=(
+                        "canary had no vehicles; gate passes vacuously"
+                        if wave.canary
+                        else "no vehicles attempted"
+                    ),
+                )
             self._complete_wave(index)
 
     # -- event handling --------------------------------------------------------
 
     def _on_server_event(self, event: ServerEvent) -> None:
-        if self.done or event.app_name != self.spec.app_name:
+        if self.done or self._check_orphaned():
+            return
+        if event.app_name != self.spec.app_name:
             return
         if event.kind == "install_resolved":
             self._on_install_resolved(event.vin, event.status)
@@ -212,6 +301,7 @@ class CampaignEngine:
         wave = self.report.waves[self._wave_index]
         if status is InstallStatus.ACTIVE:
             self._pending.discard(vin)
+            self._release([vin])
             wave.updated += 1
             self._set_disposition(vin, Disposition.UPDATED)
             self._log("updated", vin)
@@ -233,11 +323,14 @@ class CampaignEngine:
         """Final failure of one VIN: count it, clean the server record,
         flag the vehicle for the workshop."""
         self._pending.discard(vin)
+        self._release([vin])
         if kind == "timed_out":
             wave.timed_out += 1
         else:
             wave.failed += 1
-        self._web.abandon(self._user_id, vin, self.spec.app_name)
+        self._deployments.abandon(
+            self._user_id, vin, self.spec.app_name, campaign=self.campaign_id
+        )
         self._set_disposition(vin, Disposition.NEEDS_WORKSHOP)
         self._log(kind, vin, detail)
         if check_complete:
@@ -266,10 +359,10 @@ class CampaignEngine:
 
     def _push_retry(self, vin: str, wave: WaveReport, cause: str) -> None:
         self._retry_scheduled.discard(vin)
-        if self.done or vin not in self._pending:
+        if self.done or self._check_orphaned() or vin not in self._pending:
             return
-        result = self._web.retry_install(
-            self._user_id, vin, self.spec.app_name
+        result = self._deployments.retry_install(
+            self._user_id, vin, self.spec.app_name, campaign=self.campaign_id
         )
         if not result.ok:
             self._give_up(
@@ -355,15 +448,37 @@ class CampaignEngine:
             self._finish(HALTED)
             return
         targets = self._rollback_targets(breached_index)
+        # Mid-rollback VINs are the admission controller's hard case:
+        # claim them so no concurrent campaign targets a vehicle whose
+        # plug-ins are being torn down.  A VIN another campaign managed
+        # to claim in the meantime (campaign-scope rollback reaches back
+        # to waves whose claims were released on success) is still
+        # rolled back — the records are this campaign's own — but the
+        # contention is recorded in the report.
+        if self.service is not None:
+            claimed = set(
+                self.service.claim(
+                    self.campaign_id, targets, phase=PHASE_ROLLING_BACK
+                )
+            )
+            for vin in targets:
+                if vin not in claimed:
+                    holder = self.service.claimed_by(vin)
+                    self._log(
+                        "rollback_contended", vin,
+                        f"held by campaign {holder[0]}" if holder else "",
+                    )
         self._rollback_pending = set()
         for vin in targets:
-            result = self._web.uninstall(
-                self._user_id, vin, self.spec.app_name
+            result = self._deployments.uninstall(
+                self._user_id, vin, self.spec.app_name,
+                campaign=self.campaign_id,
             )
             if result.ok:
                 self._rollback_pending.add(vin)
                 self._log("rollback_started", vin)
             else:
+                self._release([vin])
                 self._set_disposition(vin, Disposition.NEEDS_WORKSHOP)
                 self._log(
                     "rollback_failed", vin,
@@ -378,6 +493,7 @@ class CampaignEngine:
         if vin not in self._rollback_pending:
             return
         self._rollback_pending.discard(vin)
+        self._release([vin])
         if kind == "uninstall_done":
             self._set_disposition(vin, Disposition.ROLLED_BACK)
             self._log("rolled_back", vin)
@@ -390,7 +506,10 @@ class CampaignEngine:
 
     def _on_rollback_timeout(self) -> None:
         for vin in sorted(self._rollback_pending):
-            self._web.abandon(self._user_id, vin, self.spec.app_name)
+            self._deployments.abandon(
+                self._user_id, vin, self.spec.app_name,
+                campaign=self.campaign_id,
+            )
             self._set_disposition(vin, Disposition.NEEDS_WORKSHOP)
             self._log("rollback_failed", vin, "rollback timed out")
         self._rollback_pending.clear()
@@ -412,9 +531,11 @@ class CampaignEngine:
         self.report.status = status
         self.report.finished_us = self._sim.now
         self._log("campaign_done", detail=status)
-        self._web.remove_listener(self._on_server_event)
+        self._deployments.remove_listener(self._on_server_event)
         if self.injector is not None:
             self.injector.detach()
+        if self.service is not None:
+            self.service.on_finished(self.campaign_id, self.report)
 
 
 __all__ = ["CampaignEngine", "DEFAULT_RUN_TIMEOUT_US"]

@@ -102,6 +102,32 @@ class FaultPlan:
             or self.offline_rate
         )
 
+    def to_dict(self) -> dict:
+        """Serialize for campaign-record persistence (all fields)."""
+        return {
+            "seed": self.seed,
+            "install_failure_rate": self.install_failure_rate,
+            "doomed_vins": sorted(self.doomed_vins),
+            "flaky_vins": sorted(self.flaky_vins),
+            "flaky_install_failures": self.flaky_install_failures,
+            "drop_rate": self.drop_rate,
+            "delay_rate": self.delay_rate,
+            "delay_min_us": self.delay_min_us,
+            "delay_max_us": self.delay_max_us,
+            "offline_rate": self.offline_rate,
+            "offline_after_min_us": self.offline_after_min_us,
+            "offline_after_max_us": self.offline_after_max_us,
+            "offline_duration_us": self.offline_duration_us,
+            "nack_latency_us": self.nack_latency_us,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        data = dict(data)
+        data["doomed_vins"] = frozenset(data.get("doomed_vins", ()))
+        data["flaky_vins"] = frozenset(data.get("flaky_vins", ()))
+        return cls(**data)
+
 
 @dataclass
 class FaultStats:

@@ -97,6 +97,9 @@ class CampaignReport:
     """Everything that happened during one campaign run."""
 
     app_name: str
+    #: Persistent control-plane id (``cmp-NNNN``); empty for engines
+    #: constructed outside the campaign service.
+    campaign_id: str = ""
     status: str = "running"
     started_us: int = 0
     finished_us: Optional[int] = None
@@ -144,6 +147,7 @@ class CampaignReport:
         """Deterministic, JSON-ready rendering of the whole report."""
         return {
             "app_name": self.app_name,
+            "campaign_id": self.campaign_id,
             "status": self.status,
             "started_us": self.started_us,
             "finished_us": self.finished_us,

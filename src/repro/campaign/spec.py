@@ -16,9 +16,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional, Sequence, Union
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, PersistenceError
+from repro.server.services.selector import FleetSelector
 from repro.sim.kernel import MS, SECOND
 
 
@@ -28,12 +29,39 @@ from repro.sim.kernel import MS, SECOND
 class WavePolicy:
     """Strategy that partitions an ordered VIN list into rollout waves.
 
-    ``partition`` must cover every VIN exactly once, preserve order,
-    and never emit an empty wave.
+    ``partition`` must cover every VIN at most once and preserve order.
+    Count-based policies never emit an empty wave; attribute-based ones
+    (:class:`SelectorWaves`) may, to keep wave indices aligned with the
+    declared selectors — the engine handles empty waves.  Policies
+    serialize to plain dicts (:meth:`to_dict` / :meth:`from_dict`) so
+    campaign specs can be persisted as database entities.
     """
 
     def partition(self, vins: Sequence[str]) -> list[list[str]]:
         raise NotImplementedError
+
+    def to_dict(self) -> dict:
+        raise NotImplementedError
+
+    @staticmethod
+    def from_dict(data: dict) -> "WavePolicy":
+        try:
+            kind = data["kind"]
+        except (TypeError, KeyError):
+            raise ConfigurationError(
+                f"not a serialized wave policy: {data!r}"
+            ) from None
+        factory = _WAVE_REGISTRY.get(kind)
+        if factory is None:
+            raise ConfigurationError(f"unknown wave policy kind {kind!r}")
+        try:
+            return factory(data)
+        except ConfigurationError:
+            raise
+        except Exception as exc:  # missing operand, wrong type, ...
+            raise ConfigurationError(
+                f"malformed wave policy payload for kind {kind!r}: {exc}"
+            ) from exc
 
     def _chunks(
         self, vins: Sequence[str], sizes: Sequence[int]
@@ -68,6 +96,9 @@ class FixedWaves(WavePolicy):
         return self._chunks(
             vins, [self.size] * math.ceil(len(vins) / self.size)
         )
+
+    def to_dict(self) -> dict:
+        return {"kind": "fixed", "size": self.size}
 
 
 @dataclass(frozen=True)
@@ -108,6 +139,9 @@ class PercentageWaves(WavePolicy):
             waves.append(list(vins[start:]))
         return waves
 
+    def to_dict(self) -> dict:
+        return {"kind": "percentage", "fractions": list(self.fractions)}
+
 
 @dataclass(frozen=True)
 class ExponentialWaves(WavePolicy):
@@ -138,6 +172,88 @@ class ExponentialWaves(WavePolicy):
             remaining -= size
             size *= self.factor
         return self._chunks(vins, sizes)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "exponential",
+            "initial": self.initial,
+            "factor": self.factor,
+        }
+
+
+@dataclass(frozen=True)
+class SelectorWaves(WavePolicy):
+    """Waves cut by fleet attributes instead of counts.
+
+    Wave ``i`` contains the (still unassigned) target VINs matching
+    ``selectors[i]`` — e.g. canary on one region, then model-by-model.
+    Targets matching no selector form a final remainder wave when
+    ``remainder`` is True, and are simply not targeted otherwise.
+
+    Unlike the count-based policies, a selector that matches nothing
+    yields an **empty wave** rather than disappearing: wave indices
+    (and therefore canary semantics and per-wave health policies) stay
+    aligned with the declared selectors, and the report shows that the
+    intended wave had no vehicles.
+
+    Needs vehicle attributes to evaluate, so plain :meth:`partition`
+    refuses; the campaign engine calls :meth:`partition_resolved` with
+    the server's vehicle resolver.
+    """
+
+    selectors: tuple[FleetSelector, ...]
+    remainder: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.selectors:
+            raise ConfigurationError("selector waves need >= 1 selector")
+        for selector in self.selectors:
+            if not isinstance(selector, FleetSelector):
+                raise ConfigurationError(
+                    f"selector waves need FleetSelectors (got {selector!r})"
+                )
+        object.__setattr__(self, "selectors", tuple(self.selectors))
+
+    def partition(self, vins: Sequence[str]) -> list[list[str]]:
+        raise ConfigurationError(
+            "SelectorWaves partitions by vehicle attributes; run the "
+            "campaign through the engine (partition_resolved)"
+        )
+
+    def partition_resolved(
+        self, vins: Sequence[str], resolve: Callable[[str], object]
+    ) -> list[list[str]]:
+        remaining = list(vins)
+        waves: list[list[str]] = []
+        for selector in self.selectors:
+            wave = [vin for vin in remaining if selector.matches(resolve(vin))]
+            waves.append(wave)
+            if wave:
+                taken = set(wave)
+                remaining = [vin for vin in remaining if vin not in taken]
+        if remaining and self.remainder:
+            waves.append(remaining)
+        return waves
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "selector",
+            "selectors": [s.to_dict() for s in self.selectors],
+            "remainder": self.remainder,
+        }
+
+
+_WAVE_REGISTRY: dict[str, Callable[[dict], WavePolicy]] = {
+    "fixed": lambda data: FixedWaves(data["size"]),
+    "percentage": lambda data: PercentageWaves(tuple(data["fractions"])),
+    "exponential": lambda data: ExponentialWaves(
+        data["initial"], data["factor"]
+    ),
+    "selector": lambda data: SelectorWaves(
+        tuple(FleetSelector.from_dict(s) for s in data["selectors"]),
+        data.get("remainder", True),
+    ),
+}
 
 
 # -- gates and reactions -------------------------------------------------------
@@ -188,6 +304,21 @@ class HealthPolicy:
             )
         return problems
 
+    def to_dict(self) -> dict:
+        return {
+            "max_failure_rate": self.max_failure_rate,
+            "max_timeout_rate": self.max_timeout_rate,
+            "min_ack_rate": self.min_ack_rate,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HealthPolicy":
+        return cls(
+            max_failure_rate=data.get("max_failure_rate"),
+            max_timeout_rate=data.get("max_timeout_rate"),
+            min_ack_rate=data.get("min_ack_rate"),
+        )
+
 
 #: Rollback scopes: undo the breaching wave, undo the whole campaign so
 #: far, or halt in place without touching installed vehicles.
@@ -208,6 +339,13 @@ class RollbackPolicy:
                 f"(got {self.scope!r})"
             )
 
+    def to_dict(self) -> dict:
+        return {"scope": self.scope, "timeout_us": self.timeout_us}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RollbackPolicy":
+        return cls(scope=data["scope"], timeout_us=data["timeout_us"])
+
 
 # -- the campaign itself -------------------------------------------------------
 
@@ -216,15 +354,19 @@ class RollbackPolicy:
 class CampaignSpec:
     """One staged fleet rollout, fully declared up front.
 
-    ``selector`` filters the platform's VINs (None targets every
-    vehicle).  With ``canary`` True the first wave is the canary: it
-    soaks for ``canary_soak_us`` after resolving and may use the
-    stricter ``canary_health`` thresholds.
+    ``selector`` filters the targeted fleet (None targets every
+    vehicle): either a serializable
+    :class:`~repro.server.services.selector.FleetSelector` evaluated
+    against server vehicle records, or a legacy ``vin -> bool``
+    callable (which keeps working but makes the spec non-persistable).
+    With ``canary`` True the first wave is the canary: it soaks for
+    ``canary_soak_us`` after resolving and may use the stricter
+    ``canary_health`` thresholds.
     """
 
     app_name: str
     waves: WavePolicy = field(default_factory=PercentageWaves)
-    selector: Optional[Callable[[str], bool]] = None
+    selector: Optional[Union[FleetSelector, Callable[[str], bool]]] = None
     canary: bool = True
     health: HealthPolicy = field(default_factory=HealthPolicy)
     canary_health: Optional[HealthPolicy] = None
@@ -272,10 +414,117 @@ class CampaignSpec:
             return self.canary_health
         return self.health
 
-    def select_targets(self, vins: Sequence[str]) -> list[str]:
+    def resolve_targets(
+        self,
+        vins: Sequence[str],
+        resolve: Optional[Callable[[str], object]] = None,
+    ) -> list[str]:
+        """Targeted VINs, evaluating FleetSelectors via ``resolve``.
+
+        ``resolve(vin)`` returns the server's vehicle record (the
+        engine passes ``api.vehicles.resolve``); legacy callable
+        selectors only see the VIN string.
+        """
         if self.selector is None:
             return list(vins)
+        if isinstance(self.selector, FleetSelector):
+            if resolve is None:
+                raise ConfigurationError(
+                    "FleetSelector targeting needs a vehicle resolver"
+                )
+            return [
+                vin for vin in vins if self.selector.matches(resolve(vin))
+            ]
         return [vin for vin in vins if self.selector(vin)]
+
+    def partition_targets(
+        self,
+        targets: Sequence[str],
+        resolve: Optional[Callable[[str], object]] = None,
+    ) -> list[list[str]]:
+        """Cut the targeted VINs into waves, resolving selector waves."""
+        if isinstance(self.waves, SelectorWaves):
+            if resolve is None:
+                raise ConfigurationError(
+                    "SelectorWaves needs a vehicle resolver"
+                )
+            return self.waves.partition_resolved(targets, resolve)
+        return self.waves.partition(targets)
+
+    # -- persistence -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Serialize for database persistence.
+
+        Raises :class:`~repro.errors.PersistenceError` when the spec
+        carries an opaque callable selector — only declarative
+        :class:`FleetSelector` trees survive a server restart.
+        """
+        if self.selector is None:
+            selector = None
+        elif isinstance(self.selector, FleetSelector):
+            selector = self.selector.to_dict()
+        else:
+            raise PersistenceError(
+                f"campaign {self.app_name!r} uses an opaque callable "
+                f"selector; use a FleetSelector to make it persistent"
+            )
+        return {
+            "app_name": self.app_name,
+            "waves": self.waves.to_dict(),
+            "selector": selector,
+            "canary": self.canary,
+            "health": self.health.to_dict(),
+            "canary_health": (
+                self.canary_health.to_dict()
+                if self.canary_health is not None
+                else None
+            ),
+            "rollback": self.rollback.to_dict(),
+            "retry_budget": self.retry_budget,
+            "retry_backoff_us": self.retry_backoff_us,
+            "wave_timeout_us": self.wave_timeout_us,
+            "pause_us": self.pause_us,
+            "canary_soak_us": self.canary_soak_us,
+            "user_id": self.user_id,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignSpec":
+        try:
+            return cls._from_dict(data)
+        except ConfigurationError:
+            raise
+        except Exception as exc:  # missing field, wrong type, ...
+            raise ConfigurationError(
+                f"malformed campaign spec payload: {exc}"
+            ) from exc
+
+    @classmethod
+    def _from_dict(cls, data: dict) -> "CampaignSpec":
+        return cls(
+            app_name=data["app_name"],
+            waves=WavePolicy.from_dict(data["waves"]),
+            selector=(
+                FleetSelector.from_dict(data["selector"])
+                if data.get("selector") is not None
+                else None
+            ),
+            canary=data["canary"],
+            health=HealthPolicy.from_dict(data["health"]),
+            canary_health=(
+                HealthPolicy.from_dict(data["canary_health"])
+                if data.get("canary_health") is not None
+                else None
+            ),
+            rollback=RollbackPolicy.from_dict(data["rollback"]),
+            retry_budget=data["retry_budget"],
+            retry_backoff_us=data["retry_backoff_us"],
+            wave_timeout_us=data["wave_timeout_us"],
+            pause_us=data["pause_us"],
+            canary_soak_us=data["canary_soak_us"],
+            user_id=data.get("user_id"),
+        )
 
 
 __all__ = [
@@ -283,6 +532,7 @@ __all__ = [
     "FixedWaves",
     "PercentageWaves",
     "ExponentialWaves",
+    "SelectorWaves",
     "HealthPolicy",
     "RollbackPolicy",
     "ROLLBACK_SCOPES",

@@ -188,8 +188,8 @@ class ExamplePlatform(Platform):
     """
 
     def deploy_remote_control(self):
-        """Trigger the install through the server's web services."""
-        return self.web.deploy(
+        """Trigger the install through the fleet control plane."""
+        return self.api.deployments.deploy(
             self.user_id, self.vehicle().vin, "remote-control"
         )
 

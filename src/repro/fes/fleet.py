@@ -12,7 +12,7 @@ the historical convenience signature (size + optional spec factory).
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional
+from typing import Callable, Iterable, Optional, Sequence
 
 from repro.api.builder import ScenarioBuilder
 from repro.api.platform import Platform
@@ -69,12 +69,15 @@ def build_fleet(
     spec_factory: Optional[Callable[[str, str], VehicleSpec]] = None,
     cellular_profile: Optional[ChannelProfile] = None,
     trace: bool = False,
+    regions: Optional[Sequence[str]] = None,
 ) -> Fleet:
     """Build ``size`` example vehicles registered on one server.
 
     ``spec_factory(vin, server_address)`` may return a different
     :class:`VehicleSpec` per VIN, so one fleet can mix vehicle models
-    and ECU counts.
+    and ECU counts.  ``regions`` assigns deployment regions round-robin
+    (e.g. ``("eu-north", "na-east")``) so FleetSelector queries and
+    selector-based campaign waves have attributes to shard on.
     """
     factory = spec_factory or (
         lambda vin, addr: make_example_vehicle_spec(vin, server_address=addr)
@@ -87,7 +90,10 @@ def build_fleet(
     )
     scenario.user("fleet-admin", "Fleet Admin")
     for index in range(size):
-        scenario.add_vehicle_spec(factory(f"VIN-{index:04d}", DEFAULT_ADDRESS))
+        spec = factory(f"VIN-{index:04d}", DEFAULT_ADDRESS)
+        if regions:
+            spec.region = regions[index % len(regions)]
+        scenario.add_vehicle_spec(spec)
     return scenario.build(platform_cls=Fleet)
 
 

@@ -73,6 +73,9 @@ class VehicleSpec:
     ecm_priority: int = 4
     plugin_priority: int = 2
     can_bitrate: int = 500_000
+    #: Deployment region the OEM registers the vehicle under (empty =
+    #: undeclared); a FleetSelector/wave-scheduling sharding attribute.
+    region: str = ""
 
     def all_placements(self) -> list[PluginSwcPlacement]:
         return [self.ecm] + list(self.plugin_swcs)

@@ -1,4 +1,4 @@
-"""The trusted server: models, database, checks, context generation."""
+"""The trusted server: models, database, checks, and the control plane."""
 
 from repro.server.compatibility import CompatibilityReport, check_compatibility
 from repro.server.contextgen import (
@@ -9,6 +9,7 @@ from repro.server.contextgen import (
 from repro.server.database import Database
 from repro.server.models import (
     App,
+    CampaignRecord,
     ConnectionKind,
     ConnectionSpec,
     EcuHw,
@@ -28,9 +29,24 @@ from repro.server.models import (
 )
 from repro.server.pusher import Pusher
 from repro.server.server import DEFAULT_ADDRESS, TrustedServer
+from repro.server.services import (
+    ApiError,
+    ErrorCode,
+    FleetAPI,
+    FleetSelector,
+    Response,
+    VehicleView,
+)
 from repro.server.webservices import OperationResult, WebServices
 
 __all__ = [
+    "ApiError",
+    "CampaignRecord",
+    "ErrorCode",
+    "FleetAPI",
+    "FleetSelector",
+    "Response",
+    "VehicleView",
     "CompatibilityReport",
     "check_compatibility",
     "GeneratedPackage",

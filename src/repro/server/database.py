@@ -10,7 +10,13 @@ from __future__ import annotations
 from typing import Iterator, Optional
 
 from repro.errors import DuplicateEntityError, UnknownEntityError
-from repro.server.models import App, InstalledApp, User, Vehicle
+from repro.server.models import (
+    App,
+    CampaignRecord,
+    InstalledApp,
+    User,
+    Vehicle,
+)
 
 
 class Database:
@@ -20,6 +26,7 @@ class Database:
         self.users: dict[str, User] = {}
         self.vehicles: dict[str, Vehicle] = {}
         self.apps: dict[str, App] = {}
+        self.campaigns: dict[str, CampaignRecord] = {}
 
     # -- users ----------------------------------------------------------------
 
@@ -87,6 +94,24 @@ class Database:
             return self.apps[name]
         except KeyError:
             raise UnknownEntityError(f"no app {name!r}") from None
+
+    # -- campaigns --------------------------------------------------------------
+
+    def add_campaign(self, record: CampaignRecord) -> CampaignRecord:
+        if record.campaign_id in self.campaigns:
+            raise DuplicateEntityError(
+                f"campaign {record.campaign_id!r} exists"
+            )
+        self.campaigns[record.campaign_id] = record
+        return record
+
+    def campaign(self, campaign_id: str) -> CampaignRecord:
+        try:
+            return self.campaigns[campaign_id]
+        except KeyError:
+            raise UnknownEntityError(
+                f"no campaign {campaign_id!r}"
+            ) from None
 
     # -- installations ----------------------------------------------------------
 

@@ -181,8 +181,62 @@ class Vehicle:
     conf: VehicleConf
     owner: Optional[str] = None  # user_id
     online: bool = False
+    #: Deployment region the OEM registered the vehicle under (an
+    #: arbitrary sharding attribute; empty when the OEM declared none).
+    #: FleetSelector queries and wave scheduling key on it.
+    region: str = ""
     #: Latest diagnostic report per plug-in SW-C (DiagMessage objects).
     health: dict[str, object] = field(default_factory=dict)
+    #: app_name -> rejection reasons of the last failed update redeploy
+    #: (the old version was removed, the new one refused): the
+    #: queryable trace distinguishing this from a clean uninstall.
+    #: Cleared when the app later deploys successfully.
+    update_failures: dict[str, list[str]] = field(default_factory=dict)
+
+
+@dataclass
+class CampaignRecord:
+    """One staged rollout as a database entity.
+
+    Persists everything the control plane needs to list, query, and —
+    after a simulated server restart — resume a campaign: the
+    serialized spec and fault plan (``None`` when the spec used an
+    opaque callable selector and could not be serialized), the
+    lifecycle status, and the final report rendering.
+    """
+
+    campaign_id: str
+    app_name: str
+    owner: str = ""
+    #: staged | running | interrupted | succeeded | rolled_back |
+    #: halted | timed_out
+    status: str = "staged"
+    created_us: int = 0
+    started_us: Optional[int] = None
+    finished_us: Optional[int] = None
+    spec: Optional[dict] = None
+    faults: Optional[dict] = None
+    report: Optional[dict] = None
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def persistable(self) -> bool:
+        return self.spec is not None
+
+    def to_dict(self) -> dict:
+        return {
+            "campaign_id": self.campaign_id,
+            "app_name": self.app_name,
+            "owner": self.owner,
+            "status": self.status,
+            "created_us": self.created_us,
+            "started_us": self.started_us,
+            "finished_us": self.finished_us,
+            "spec": self.spec,
+            "faults": self.faults,
+            "report": self.report,
+            "notes": list(self.notes),
+        }
 
 
 # -- developer side ------------------------------------------------------------
@@ -273,6 +327,7 @@ class App:
 
 
 __all__ = [
+    "CampaignRecord",
     "User",
     "VirtualPortDesc",
     "PluginSwcDesc",

@@ -1,0 +1,116 @@
+"""AppStore: APP uploads, versioning, and compatibility evaluation."""
+
+from __future__ import annotations
+
+from repro.errors import DuplicateEntityError, UnknownEntityError
+from repro.server.compatibility import CompatibilityReport, check_compatibility
+from repro.server.database import Database
+from repro.server.models import App, Vehicle
+from repro.server.services.envelope import ErrorCode, Response
+
+
+class AppStore:
+    """Developer-facing side of the control plane."""
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+
+    # -- uploads --------------------------------------------------------------
+
+    def upload(self, app: App) -> Response:
+        """Developer upload: binaries plus deployment descriptors."""
+        try:
+            return Response.success(self.db.add_app(app))
+        except DuplicateEntityError as exc:
+            return Response.failure(ErrorCode.DUPLICATE_ENTITY, str(exc))
+
+    def upload_version(self, app: App) -> Response:
+        """Developer upload of a NEW VERSION of an existing APP."""
+        try:
+            return Response.success(self.db.replace_app(app))
+        except UnknownEntityError as exc:
+            return Response.failure(ErrorCode.UNKNOWN_ENTITY, str(exc))
+        except DuplicateEntityError as exc:
+            return Response.failure(ErrorCode.DUPLICATE_ENTITY, str(exc))
+
+    def get(self, name: str) -> Response:
+        try:
+            return Response.success(self.db.app(name))
+        except UnknownEntityError as exc:
+            return Response.failure(ErrorCode.UNKNOWN_ENTITY, str(exc))
+
+    # -- compatibility --------------------------------------------------------
+
+    def evaluate(self, app: App, vehicle: Vehicle) -> CompatibilityReport:
+        """Full server-side acceptance check of ``app`` on ``vehicle``.
+
+        The declarative compatibility check plus the store-wide rules:
+        reverse conflicts declared by already-installed APPs, and the
+        per-SW-C plug-in memory budget (declared binary footprints of
+        installed plug-ins + the newcomer against the SW-C's VM quota).
+        """
+        report = check_compatibility(app, vehicle)
+        self._check_reverse_conflicts(app, vehicle, report)
+        self._check_memory_budget(app, vehicle, report)
+        return report
+
+    def compatibility(self, app_name: str, vin: str) -> Response:
+        """Portal preview: would ``app_name`` deploy onto ``vin``?
+
+        Pure query — nothing is pushed or recorded.  The payload is the
+        full :class:`CompatibilityReport` either way; ``ok`` mirrors it.
+        """
+        try:
+            app = self.db.app(app_name)
+            vehicle = self.db.vehicle(vin)
+        except UnknownEntityError as exc:
+            return Response.failure(ErrorCode.UNKNOWN_ENTITY, str(exc))
+        report = self.evaluate(app, vehicle)
+        if not report.ok:
+            return Response.failure(
+                ErrorCode.INCOMPATIBLE, *report.reasons, value=report
+            )
+        return Response.success(report)
+
+    # -- store-wide rules ------------------------------------------------------
+
+    def _check_reverse_conflicts(
+        self, app: App, vehicle: Vehicle, report: CompatibilityReport
+    ) -> None:
+        for name in vehicle.conf.installed:
+            other = self.db.apps.get(name)
+            if other is not None and app.name in other.conflicts:
+                report.add_failure(
+                    f"installed APP {name} declares a conflict with "
+                    f"{app.name}"
+                )
+
+    def _check_memory_budget(
+        self, app: App, vehicle: Vehicle, report: CompatibilityReport
+    ) -> None:
+        conf = app.conf_for_model(vehicle.model)
+        if conf is None:
+            return
+        per_swc: dict[str, int] = {}
+        for plugin_name, descriptor in app.plugins.items():
+            swc_name = conf.swc_for(plugin_name)
+            if swc_name is None:
+                continue
+            per_swc[swc_name] = per_swc.get(swc_name, 0) + len(descriptor.binary)
+        for swc_name, needed in per_swc.items():
+            swc = vehicle.conf.system_sw.swc(swc_name)
+            if swc is None:
+                continue
+            used = 0
+            for installed in vehicle.conf.installed.values():
+                for record in installed.plugins:
+                    if record.swc_name == swc_name:
+                        used += getattr(record, "footprint", 0)
+            if used + needed > swc.vm_memory_bytes:
+                report.add_failure(
+                    f"SW-C {swc_name} memory budget exceeded: "
+                    f"{used} used + {needed} needed > {swc.vm_memory_bytes}"
+                )
+
+
+__all__ = ["AppStore"]

@@ -1,0 +1,131 @@
+"""Uniform request/response envelopes of the fleet control plane.
+
+Every mutating operation on a :class:`~repro.server.services.fleetapi.FleetAPI`
+service returns a :class:`Response`: a typed envelope carrying a success
+flag, a structured :class:`ErrorCode`, human-readable reasons, and an
+operation-specific payload.  This replaces the seed's mix of
+``OperationResult`` strings and raw exceptions — entity-lookup failures
+that used to escape as :class:`~repro.errors.UnknownEntityError` now
+come back as ``Response(code=ErrorCode.UNKNOWN_ENTITY)``, so portal-style
+clients can branch on codes instead of parsing messages.  Cheap status
+probes (``installation_status`` and friends) still return plain values;
+envelopes are for operations and portal queries.
+
+The legacy :class:`~repro.server.webservices.WebServices` shim converts
+envelopes back to ``OperationResult``/exceptions for old call sites.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import DuplicateEntityError, ServerError, UnknownEntityError
+
+
+class ErrorCode(enum.Enum):
+    """Structured outcome codes of control-plane operations."""
+
+    OK = "ok"
+    # entity / authorization failures (legacy raised exceptions)
+    UNKNOWN_ENTITY = "unknown_entity"
+    UNAUTHORIZED = "unauthorized"
+    DUPLICATE_ENTITY = "duplicate_entity"
+    # deployment rejections (legacy OperationResult(ok=False))
+    ALREADY_INSTALLED = "already_installed"
+    NOT_INSTALLED = "not_installed"
+    INCOMPATIBLE = "incompatible"
+    DEPENDENTS_PRESENT = "dependents_present"
+    INVALID_STATE = "invalid_state"
+    NOTHING_TO_DO = "nothing_to_do"
+    VERSION_UNCHANGED = "version_unchanged"
+    # campaign control plane
+    NOT_PERSISTABLE = "not_persistable"
+    CAMPAIGN_STATE = "campaign_state"
+    INVALID_REQUEST = "invalid_request"
+
+
+#: Codes the legacy surface signalled by raising instead of returning.
+_RAISING_CODES = {
+    ErrorCode.UNKNOWN_ENTITY: UnknownEntityError,
+    ErrorCode.UNAUTHORIZED: UnknownEntityError,
+    ErrorCode.DUPLICATE_ENTITY: DuplicateEntityError,
+}
+
+
+class ApiError(ServerError):
+    """Raised by :meth:`Response.unwrap` on a failed operation."""
+
+    def __init__(self, code: ErrorCode, reasons: list[str]) -> None:
+        super().__init__(
+            f"[{code.value}] {'; '.join(reasons) if reasons else 'operation failed'}"
+        )
+        self.code = code
+        self.reasons = reasons
+
+
+@dataclass
+class Response:
+    """Typed envelope returned by every control-plane operation.
+
+    ``value`` carries the operation-specific payload (created entity,
+    compatibility report, query rows, campaign record, ...);
+    ``pushed_messages`` counts downstream pusher traffic the operation
+    caused, mirroring the legacy ``OperationResult`` field.
+    """
+
+    ok: bool
+    code: ErrorCode = ErrorCode.OK
+    reasons: list[str] = field(default_factory=list)
+    value: Any = None
+    pushed_messages: int = 0
+
+    @classmethod
+    def success(
+        cls,
+        value: Any = None,
+        pushed_messages: int = 0,
+        reasons: Optional[list[str]] = None,
+    ) -> "Response":
+        return cls(
+            True, ErrorCode.OK, list(reasons or []), value, pushed_messages
+        )
+
+    @classmethod
+    def failure(
+        cls, code: ErrorCode, *reasons: str, value: Any = None
+    ) -> "Response":
+        return cls(False, code, list(reasons), value)
+
+    @property
+    def report(self) -> Any:
+        """Compatibility-report payload when the operation produced one.
+
+        Mirrors ``OperationResult.report`` so unified deployment handles
+        work identically over envelopes and legacy results.
+        """
+        from repro.server.compatibility import CompatibilityReport
+
+        return self.value if isinstance(self.value, CompatibilityReport) else None
+
+    def unwrap(self) -> Any:
+        """The payload on success; :class:`ApiError` on failure."""
+        if not self.ok:
+            raise ApiError(self.code, self.reasons)
+        return self.value
+
+    def raise_legacy(self) -> "Response":
+        """Re-raise failures the pre-control-plane API raised as exceptions.
+
+        Entity and authorization failures come back as codes on the new
+        surface; the deprecation shim calls this to restore the old
+        raising behaviour.  Returns ``self`` for chaining.
+        """
+        exc = _RAISING_CODES.get(self.code)
+        if not self.ok and exc is not None:
+            raise exc("; ".join(self.reasons) or self.code.value)
+        return self
+
+
+__all__ = ["ApiError", "ErrorCode", "Response"]

@@ -1,0 +1,52 @@
+"""FleetAPI: the versioned façade of the fleet control plane.
+
+One object bundling the four resource-oriented services the server
+exposes:
+
+* :attr:`FleetAPI.vehicles` — registry, user binding, health, and the
+  portal query endpoint (:class:`~repro.server.services.selector.FleetSelector`).
+* :attr:`FleetAPI.store` — APP uploads, versioning, compatibility.
+* :attr:`FleetAPI.deployments` — deploy/uninstall/retry/abandon/update/
+  restore/reconcile, ack processing, installation events and status.
+* :attr:`FleetAPI.campaigns` — persistent campaign lifecycle and
+  cross-campaign admission control.
+
+Every operation returns a uniform
+:class:`~repro.server.services.envelope.Response` envelope.  The legacy
+:class:`~repro.server.webservices.WebServices` object is a deprecation
+shim over this façade.
+"""
+
+from __future__ import annotations
+
+from repro.server.database import Database
+from repro.server.pusher import Pusher
+from repro.server.services.appstore import AppStore
+from repro.server.services.campaigns import CampaignService
+from repro.server.services.deployments import DeploymentService
+from repro.server.services.vehicles import VehicleService
+
+
+class FleetAPI:
+    """The server's resource-oriented control-plane surface."""
+
+    #: API generation; bumped on breaking envelope/service changes.
+    version = "v1"
+
+    def __init__(self, db: Database, pusher: Pusher) -> None:
+        self.db = db
+        self.pusher = pusher
+        self.vehicles = VehicleService(db, pusher)
+        self.store = AppStore(db)
+        self.deployments = DeploymentService(db, pusher, self.store)
+        self.campaigns = CampaignService(db, self.deployments)
+        pusher.on_upstream(self.deployments.on_vehicle_message)
+
+    def __repr__(self) -> str:
+        return (
+            f"<FleetAPI {self.version} vehicles={len(self.db.vehicles)} "
+            f"apps={len(self.db.apps)} campaigns={len(self.db.campaigns)}>"
+        )
+
+
+__all__ = ["FleetAPI"]

@@ -1,127 +1,111 @@
-"""The Web Services module: the server's user-facing operations.
+"""Deprecated: the legacy web-services facade, now a compatibility shim.
 
-Implements the three operation groups of paper Sec. 3.2.2 — user setup,
-uploads, and plug-in (re)deployment — on top of the database, the
-compatibility checker, the context generator, and the pusher.
+The server's operations live in the resource-oriented fleet control
+plane (:mod:`repro.server.services`): ``VehicleService`` for
+registry/binding/health, ``AppStore`` for uploads and compatibility,
+``DeploymentService`` for the install life cycle, ``CampaignService``
+for persistent campaigns — all behind the
+:class:`~repro.server.services.fleetapi.FleetAPI` façade with uniform
+:class:`~repro.server.services.envelope.Response` envelopes.
+
+This module keeps the historical ``WebServices`` surface working for
+old call sites: every method delegates to its FleetAPI replacement,
+emits a :class:`DeprecationWarning` naming it, converts envelopes back
+to :class:`OperationResult`, and re-raises the entity/authorization
+failures the old API signalled as exceptions.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, NamedTuple, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
-from repro.core import messages as msg
-from repro.errors import ServerError, UnknownEntityError
-from repro.server.compatibility import CompatibilityReport, check_compatibility
-from repro.server.contextgen import generate_packages
-from repro.server.database import Database
+from repro.server.compatibility import CompatibilityReport
 from repro.server.models import (
     App,
     HwConf,
     InstallStatus,
-    InstalledApp,
-    InstalledPlugin,
     SystemSwConf,
     User,
     Vehicle,
-    VehicleConf,
 )
-from repro.server.pusher import Pusher
+from repro.server.services.deployments import (  # noqa: F401  (legacy re-exports)
+    InstallProgress,
+    ServerEvent,
+)
+from repro.server.services.envelope import Response
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.server.services.fleetapi import FleetAPI
 
 
 @dataclass
 class OperationResult:
-    """Outcome of a deploy/uninstall/restore request."""
+    """Outcome of a deploy/uninstall/restore request (legacy envelope)."""
 
     ok: bool
     reasons: list[str] = field(default_factory=list)
     report: Optional[CompatibilityReport] = None
     pushed_messages: int = 0
 
-
-@dataclass
-class _PluginRecord(InstalledPlugin):
-    """Installed-plugin record extended with the resend package."""
-
-    package: bytes = b""
-    footprint: int = 0
-
-
-class InstallProgress(NamedTuple):
-    """Per-install ack tally: positive, negative, and expected acks.
-
-    A failed (NACK'd) plug-in is NOT pending — campaign health gates
-    must distinguish "the vehicle said no" from "no answer yet".
-    """
-
-    acked: int
-    failed: int
-    total: int
-
-    @property
-    def pending(self) -> int:
-        return self.total - self.acked - self.failed
-
-
-@dataclass(frozen=True)
-class ServerEvent:
-    """Notification emitted when an installation record changes state.
-
-    ``kind`` is one of ``install_resolved`` (status reached ACTIVE or
-    FAILED), ``uninstall_done`` (record removed after all uninstall
-    acks), or ``uninstall_failed`` (a negative uninstall ack).
-    Campaign engines subscribe via :meth:`WebServices.add_listener`
-    instead of polling statuses.
-    """
-
-    kind: str
-    vin: str
-    app_name: str
-    status: Optional[InstallStatus] = None
+    @classmethod
+    def from_response(cls, response: Response) -> "OperationResult":
+        return cls(
+            response.ok,
+            list(response.reasons),
+            response.report,
+            response.pushed_messages,
+        )
 
 
 class WebServices:
-    """The server's operation facade."""
+    """Deprecation shim over :class:`FleetAPI`.
 
-    def __init__(self, database: Database, pusher: Pusher) -> None:
-        self.db = database
-        self.pusher = pusher
-        self.pusher.on_upstream(self.on_vehicle_message)
-        self.deploys = 0
-        self.rejected_deploys = 0
-        self.acks_processed = 0
-        # (vin, app_name) -> user_id: update waiting for uninstall acks.
-        self._pending_updates: dict[tuple[str, str], str] = {}
-        self._listeners: list[Callable[[ServerEvent], None]] = []
+    Old code keeps calling ``server.web.deploy(...)`` and friends; new
+    code should use ``server.api.<service>.<operation>`` and branch on
+    envelope codes instead of parsing reasons.
+    """
 
-    # -- events ----------------------------------------------------------------
+    def __init__(self, api: "FleetAPI") -> None:
+        self.api = api
+        self.db = api.db
+        self.pusher = api.pusher
 
-    def add_listener(self, callback: Callable[[ServerEvent], None]) -> None:
-        """Subscribe to installation state-change events."""
-        if callback not in self._listeners:
-            self._listeners.append(callback)
+    # -- shim plumbing ---------------------------------------------------------
 
-    def remove_listener(self, callback: Callable[[ServerEvent], None]) -> None:
-        """Unsubscribe a previously added listener (no-op if absent)."""
-        if callback in self._listeners:
-            self._listeners.remove(callback)
+    @staticmethod
+    def _warn(old: str, new: str) -> None:
+        warnings.warn(
+            f"WebServices.{old} is deprecated; use FleetAPI {new}",
+            DeprecationWarning,
+            stacklevel=3,
+        )
 
-    def _emit(
-        self,
-        kind: str,
-        vin: str,
-        app_name: str,
-        status: Optional[InstallStatus] = None,
-    ) -> None:
-        event = ServerEvent(kind, vin, app_name, status)
-        for callback in list(self._listeners):
-            callback(event)
+    @staticmethod
+    def _result(response: Response) -> OperationResult:
+        """Envelope -> OperationResult, re-raising legacy exceptions."""
+        return OperationResult.from_response(response.raise_legacy())
+
+    # -- legacy counters -------------------------------------------------------
+
+    @property
+    def deploys(self) -> int:
+        return self.api.deployments.deploys
+
+    @property
+    def rejected_deploys(self) -> int:
+        return self.api.deployments.rejected_deploys
+
+    @property
+    def acks_processed(self) -> int:
+        return self.api.deployments.acks_processed
 
     # -- user setup ------------------------------------------------------------
 
     def create_user(self, user_id: str, name: str) -> User:
-        """Register a portal user account."""
-        return self.db.add_user(User(user_id, name))
+        self._warn("create_user", "vehicles.create_user")
+        return self.api.vehicles.create_user(user_id, name).raise_legacy().value
 
     def register_vehicle(
         self,
@@ -129,424 +113,123 @@ class WebServices:
         model: str,
         hw: HwConf,
         system_sw: SystemSwConf,
+        region: str = "",
     ) -> Vehicle:
-        """OEM upload: a vehicle with its HW conf and exposed API."""
-        return self.db.add_vehicle(
-            Vehicle(vin, model, VehicleConf(hw, system_sw))
+        self._warn("register_vehicle", "vehicles.register")
+        return (
+            self.api.vehicles.register(vin, model, hw, system_sw, region=region)
+            .raise_legacy()
+            .value
         )
 
     def bind_vehicle(self, user_id: str, vin: str) -> None:
-        """Associate a vehicle with a user account."""
-        self.db.bind_vehicle(user_id, vin)
+        self._warn("bind_vehicle", "vehicles.bind")
+        self.api.vehicles.bind(user_id, vin).raise_legacy()
 
-    # -- uploads -------------------------------------------------------------------
+    # -- uploads ---------------------------------------------------------------
 
     def upload_app(self, app: App) -> App:
-        """Developer upload: binaries plus deployment descriptors."""
-        return self.db.add_app(app)
+        self._warn("upload_app", "store.upload")
+        return self.api.store.upload(app).raise_legacy().value
 
     def upload_app_version(self, app: App) -> App:
-        """Developer upload of a NEW VERSION of an existing APP."""
-        return self.db.replace_app(app)
+        self._warn("upload_app_version", "store.upload_version")
+        return self.api.store.upload_version(app).raise_legacy().value
 
-    # -- deployment -------------------------------------------------------------------
+    # -- deployment ------------------------------------------------------------
 
     def deploy(self, user_id: str, vin: str, app_name: str) -> OperationResult:
-        """Install an APP on a vehicle (the paper's install operation)."""
-        vehicle = self._authorized_vehicle(user_id, vin)
-        app = self.db.app(app_name)
-        if app_name in vehicle.conf.installed:
-            return OperationResult(
-                False, [f"APP {app_name} is already installed on {vin}"]
-            )
-        report = check_compatibility(app, vehicle)
-        self._check_reverse_conflicts(app, vehicle, report)
-        self._check_memory_budget(app, vehicle, report)
-        if not report.ok:
-            self.rejected_deploys += 1
-            return OperationResult(False, report.reasons, report)
-        assert report.sw_conf is not None
-        packages = generate_packages(app, report.sw_conf, vehicle)
-        installed = InstalledApp(app.name, app.version, InstallStatus.PENDING)
-        for package in packages:
-            raw = package.message.encode()
-            installed.plugins.append(
-                _PluginRecord(
-                    plugin_name=package.message.plugin_name,
-                    swc_name=package.message.target_swc,
-                    ecu_name=package.message.target_ecu,
-                    port_ids=package.port_ids,
-                    package=raw,
-                    footprint=len(package.message.binary),
-                )
-            )
-            self.pusher.push(vin, raw)
-        vehicle.conf.installed[app.name] = installed
-        self.deploys += 1
-        return OperationResult(
-            True, [], report, pushed_messages=len(packages)
-        )
+        self._warn("deploy", "deployments.deploy")
+        return self._result(self.api.deployments.deploy(user_id, vin, app_name))
 
     def uninstall(self, user_id: str, vin: str, app_name: str) -> OperationResult:
-        """Remove an APP, refusing while dependents remain installed."""
-        vehicle = self._authorized_vehicle(user_id, vin)
-        installed = vehicle.conf.installed.get(app_name)
-        if installed is None:
-            return OperationResult(
-                False, [f"APP {app_name} is not installed on {vin}"]
-            )
-        dependents = self.db.dependents_of(vin, app_name)
-        if dependents:
-            # Paper: "the user is notified about the need to also
-            # uninstall the dependent plug-ins".
-            return OperationResult(
-                False,
-                [
-                    f"APP {app_name} is required by installed APP(s) "
-                    f"{', '.join(sorted(dependents))}; uninstall them first"
-                ],
-            )
-        installed.status = InstallStatus.REMOVING
-        pushed = 0
-        for record in installed.plugins:
-            record.acked = False
-            record.nacked = False
-            raw = msg.UninstallMessage(
-                record.plugin_name, record.ecu_name, record.swc_name
-            ).encode()
-            self.pusher.push(vin, raw)
-            pushed += 1
-        return OperationResult(True, [], pushed_messages=pushed)
-
-    # -- batch / campaign operations -------------------------------------------
+        self._warn("uninstall", "deployments.uninstall")
+        return self._result(
+            self.api.deployments.uninstall(user_id, vin, app_name)
+        )
 
     def deploy_batch(
         self, user_id: str, vins: Iterable[str], app_name: str
     ) -> dict[str, OperationResult]:
-        """Install an APP on many vehicles; per-VIN acceptance results.
-
-        The campaign engine's wave dispatch: one server pass pushes a
-        whole wave's packages instead of N independent portal requests.
-        """
-        return {vin: self.deploy(user_id, vin, app_name) for vin in vins}
+        # Per-VIN conversion, not one control-plane batch call: legacy
+        # batches stopped at the first raising VIN, leaving later VINs
+        # untouched, and the shim must preserve that.
+        self._warn("deploy_batch", "deployments.deploy_batch")
+        return {
+            vin: self._result(
+                self.api.deployments.deploy(user_id, vin, app_name)
+            )
+            for vin in vins
+        }
 
     def uninstall_batch(
         self, user_id: str, vins: Iterable[str], app_name: str
     ) -> dict[str, OperationResult]:
-        """Remove an APP from many vehicles (campaign rollback path)."""
-        return {vin: self.uninstall(user_id, vin, app_name) for vin in vins}
+        self._warn("uninstall_batch", "deployments.uninstall_batch")
+        return {
+            vin: self._result(
+                self.api.deployments.uninstall(user_id, vin, app_name)
+            )
+            for vin in vins
+        }
 
     def retry_install(
         self, user_id: str, vin: str, app_name: str
     ) -> OperationResult:
-        """Re-push the unacknowledged plug-ins of a stuck installation.
-
-        Valid while the install is PENDING (acks lost / vehicle offline)
-        or FAILED (negative ack): already-acked plug-ins are left alone,
-        the rest are re-sent from the stored packages and the status
-        returns to PENDING.  This is the campaign engine's retry-budget
-        primitive.
-        """
-        vehicle = self._authorized_vehicle(user_id, vin)
-        installed = vehicle.conf.installed.get(app_name)
-        if installed is None:
-            return OperationResult(
-                False, [f"APP {app_name} is not installed on {vin}"]
-            )
-        if installed.status not in (InstallStatus.PENDING, InstallStatus.FAILED):
-            return OperationResult(
-                False,
-                [
-                    f"APP {app_name} on {vin} is {installed.status.value}; "
-                    f"only pending/failed installs can be retried"
-                ],
-            )
-        pushed = 0
-        for record in installed.plugins:
-            if record.acked:
-                continue
-            if not isinstance(record, _PluginRecord) or not record.package:
-                raise ServerError(
-                    f"no stored package for plug-in {record.plugin_name}"
-                )
-            record.nacked = False
-            self.pusher.push(vin, record.package)
-            pushed += 1
-        if pushed == 0:
-            return OperationResult(
-                False, [f"APP {app_name} on {vin} has nothing to retry"]
-            )
-        installed.status = InstallStatus.PENDING
-        return OperationResult(True, [], pushed_messages=pushed)
+        self._warn("retry_install", "deployments.retry_install")
+        return self._result(
+            self.api.deployments.retry_install(user_id, vin, app_name)
+        )
 
     def abandon(self, user_id: str, vin: str, app_name: str) -> OperationResult:
-        """Drop a failed/stuck installation record (rollback cleanup).
-
-        Unlike :meth:`uninstall`, the record is removed immediately and
-        no acknowledgements are awaited: uninstall messages go out
-        best-effort for the plug-ins the vehicle did confirm, and the
-        vehicle is flagged for workshop attention.  Used by campaign
-        rollback when an install never fully happened.
-        """
-        vehicle = self._authorized_vehicle(user_id, vin)
-        installed = vehicle.conf.installed.pop(app_name, None)
-        if installed is None:
-            return OperationResult(
-                False, [f"APP {app_name} is not installed on {vin}"]
-            )
-        self._pending_updates.pop((vin, app_name), None)
-        pushed = 0
-        for record in installed.plugins:
-            if not record.acked:
-                continue
-            raw = msg.UninstallMessage(
-                record.plugin_name, record.ecu_name, record.swc_name
-            ).encode()
-            self.pusher.push(vin, raw)
-            pushed += 1
-        return OperationResult(True, [], pushed_messages=pushed)
+        self._warn("abandon", "deployments.abandon")
+        return self._result(
+            self.api.deployments.abandon(user_id, vin, app_name)
+        )
 
     def update(self, user_id: str, vin: str, app_name: str) -> OperationResult:
-        """Update an installed APP to the latest uploaded version.
-
-        The paper's pragmatic model (Sec. 5): the plug-ins are stopped
-        and removed, then the new version is installed fresh — no state
-        transfer.  The re-deployment triggers automatically once the
-        vehicle has acknowledged every uninstall.
-        """
-        vehicle = self._authorized_vehicle(user_id, vin)
-        installed = vehicle.conf.installed.get(app_name)
-        if installed is None:
-            return OperationResult(
-                False, [f"APP {app_name} is not installed on {vin}"]
-            )
-        app = self.db.app(app_name)
-        if app.version == installed.version:
-            return OperationResult(
-                False,
-                [
-                    f"APP {app_name} is already at version "
-                    f"{installed.version}; upload a new version first"
-                ],
-            )
-        result = self.uninstall(user_id, vin, app_name)
-        if not result.ok:
-            return result
-        self._pending_updates[(vin, app_name)] = user_id
-        return OperationResult(True, [], pushed_messages=result.pushed_messages)
+        self._warn("update", "deployments.update")
+        return self._result(self.api.deployments.update(user_id, vin, app_name))
 
     def restore(self, vin: str, ecu_name: str) -> OperationResult:
-        """Re-deploy the plug-ins of a physically replaced ECU."""
-        vehicle = self.db.vehicle(vin)
-        pushed = 0
-        for installed in vehicle.conf.installed.values():
-            for record in installed.plugins:
-                if record.ecu_name != ecu_name:
-                    continue
-                if not isinstance(record, _PluginRecord) or not record.package:
-                    raise ServerError(
-                        f"no stored package for plug-in {record.plugin_name}"
-                    )
-                record.acked = False
-                record.nacked = False
-                installed.status = InstallStatus.PENDING
-                self.pusher.push(vin, record.package)
-                pushed += 1
-        if pushed == 0:
-            return OperationResult(
-                False, [f"no plug-ins recorded on ECU {ecu_name} of {vin}"]
-            )
-        return OperationResult(True, [], pushed_messages=pushed)
+        self._warn("restore", "deployments.restore")
+        return self._result(self.api.deployments.restore(vin, ecu_name))
 
     def reconcile(self, vin: str) -> OperationResult:
-        """Re-push plug-ins that the vehicle's health reports lack.
+        self._warn("reconcile", "deployments.reconcile")
+        return self._result(self.api.deployments.reconcile(vin))
 
-        Extension of the paper's restore operation: instead of the
-        workshop naming the replaced ECU, the server compares its
-        InstalledAPP records against the latest diagnostic reports and
-        re-deploys whatever is missing (e.g. after an ECU lost its RAM
-        state).  SW-Cs without a health report are left alone — absence
-        of telemetry is not evidence of absence.
-        """
-        vehicle = self.db.vehicle(vin)
-        pushed = 0
-        for installed in vehicle.conf.installed.values():
-            if installed.status is InstallStatus.REMOVING:
-                continue
-            for record in installed.plugins:
-                report = vehicle.health.get(record.swc_name)
-                if report is None:
-                    continue
-                present = {
-                    h.plugin_name
-                    for h in report.plugins  # type: ignore[attr-defined]
-                }
-                if record.plugin_name in present:
-                    continue
-                if not isinstance(record, _PluginRecord) or not record.package:
-                    continue
-                record.acked = False
-                record.nacked = False
-                installed.status = InstallStatus.PENDING
-                self.pusher.push(vin, record.package)
-                pushed += 1
-        if pushed == 0:
-            return OperationResult(True, ["nothing to reconcile"])
-        return OperationResult(True, [], pushed_messages=pushed)
+    # -- events ----------------------------------------------------------------
 
-    # -- ack processing -----------------------------------------------------------------
+    def add_listener(self, callback: Callable[[ServerEvent], None]) -> None:
+        self._warn("add_listener", "deployments.add_listener")
+        self.api.deployments.add_listener(callback)
+
+    def remove_listener(self, callback: Callable[[ServerEvent], None]) -> None:
+        self._warn("remove_listener", "deployments.remove_listener")
+        self.api.deployments.remove_listener(callback)
 
     def on_vehicle_message(self, vin: str, raw: bytes) -> None:
-        """Handle one upstream message (ack/diag) from a vehicle's ECM."""
-        message = msg.decode(raw)
-        if isinstance(message, msg.DiagMessage):
-            self.db.vehicle(vin).health[message.source_swc] = message
-            return
-        if not isinstance(message, msg.AckMessage):
-            return
-        self.acks_processed += 1
-        vehicle = self.db.vehicle(vin)
-        for installed in list(vehicle.conf.installed.values()):
-            record = installed.plugin(message.plugin_name)
-            if record is None or record.swc_name != message.target_swc:
-                continue
-            self._apply_ack(vehicle, installed, record, message)
-            return
+        self._warn("on_vehicle_message", "deployments.on_vehicle_message")
+        self.api.deployments.on_vehicle_message(vin, raw)
 
-    def _apply_ack(
-        self,
-        vehicle: Vehicle,
-        installed: InstalledApp,
-        record: InstalledPlugin,
-        message: msg.AckMessage,
-    ) -> None:
-        if message.op is msg.MessageType.INSTALL:
-            if message.ok:
-                record.acked = True
-                record.nacked = False
-                if installed.all_acked():
-                    installed.status = InstallStatus.ACTIVE
-                    self._emit(
-                        "install_resolved", vehicle.vin, installed.app_name,
-                        InstallStatus.ACTIVE,
-                    )
-            else:
-                if record.acked:
-                    # The plug-in is already confirmed installed; this
-                    # NACK answers a stale duplicate package (e.g. a
-                    # retry raced a delayed original).  The vehicle is
-                    # healthy — do not demote the record.
-                    return
-                record.nacked = True
-                previous = installed.status
-                installed.status = InstallStatus.FAILED
-                if previous is not InstallStatus.FAILED:
-                    self._emit(
-                        "install_resolved", vehicle.vin, installed.app_name,
-                        InstallStatus.FAILED,
-                    )
-        elif message.op is msg.MessageType.UNINSTALL:
-            if message.ok:
-                record.acked = True
-                if installed.all_acked():
-                    del vehicle.conf.installed[installed.app_name]
-                    self._emit(
-                        "uninstall_done", vehicle.vin, installed.app_name
-                    )
-                    # A pending update re-deploys the new version now.
-                    user_id = self._pending_updates.pop(
-                        (vehicle.vin, installed.app_name), None
-                    )
-                    if user_id is not None:
-                        self.deploy(user_id, vehicle.vin, installed.app_name)
-            else:
-                installed.status = InstallStatus.FAILED
-                self._emit(
-                    "uninstall_failed", vehicle.vin, installed.app_name,
-                    InstallStatus.FAILED,
-                )
-
-    # -- queries ------------------------------------------------------------------------
+    # -- queries ---------------------------------------------------------------
 
     def installation_status(
         self, vin: str, app_name: str
     ) -> Optional[InstallStatus]:
-        installed = self.db.installation(vin, app_name)
-        return installed.status if installed else None
+        self._warn("installation_status", "deployments.installation_status")
+        return self.api.deployments.installation_status(vin, app_name)
 
     def installation_progress(
         self, vin: str, app_name: str
     ) -> InstallProgress:
-        """Ack tally ``(acked, failed, total)`` for one installation.
+        self._warn("installation_progress", "deployments.installation_progress")
+        return self.api.deployments.installation_progress(vin, app_name)
 
-        A negatively acknowledged plug-in counts as ``failed``, not as
-        pending — health gates must not mistake a NACK for an install
-        that is still on its way.  ``(0, 0, 0)`` when no installation
-        record exists (never deployed, or fully uninstalled).
-        """
-        installed = self.db.installation(vin, app_name)
-        if installed is None:
-            return InstallProgress(0, 0, 0)
-        return InstallProgress(
-            sum(1 for record in installed.plugins if record.acked),
-            sum(1 for record in installed.plugins if record.nacked),
-            len(installed.plugins),
-        )
-
-    def vehicle_health(self, vin: str) -> dict[str, msg.DiagMessage]:
-        """Latest diagnostic report per plug-in SW-C of ``vin``."""
-        return dict(self.db.vehicle(vin).health)
-
-    # -- internals ---------------------------------------------------------------------
-
-    def _authorized_vehicle(self, user_id: str, vin: str) -> Vehicle:
-        vehicle = self.db.vehicle(vin)
-        user = self.db.user(user_id)
-        if vehicle.owner != user.user_id:
-            raise UnknownEntityError(
-                f"vehicle {vin} is not bound to user {user_id}"
-            )
-        return vehicle
-
-    def _check_reverse_conflicts(
-        self, app: App, vehicle: Vehicle, report: CompatibilityReport
-    ) -> None:
-        for name in vehicle.conf.installed:
-            other = self.db.apps.get(name)
-            if other is not None and app.name in other.conflicts:
-                report.add_failure(
-                    f"installed APP {name} declares a conflict with "
-                    f"{app.name}"
-                )
-
-    def _check_memory_budget(
-        self, app: App, vehicle: Vehicle, report: CompatibilityReport
-    ) -> None:
-        conf = app.conf_for_model(vehicle.model)
-        if conf is None:
-            return
-        per_swc: dict[str, int] = {}
-        for plugin_name, descriptor in app.plugins.items():
-            swc_name = conf.swc_for(plugin_name)
-            if swc_name is None:
-                continue
-            per_swc[swc_name] = per_swc.get(swc_name, 0) + len(descriptor.binary)
-        for swc_name, needed in per_swc.items():
-            swc = vehicle.conf.system_sw.swc(swc_name)
-            if swc is None:
-                continue
-            used = 0
-            for installed in vehicle.conf.installed.values():
-                for record in installed.plugins:
-                    if record.swc_name == swc_name and isinstance(
-                        record, _PluginRecord
-                    ):
-                        used += record.footprint
-            if used + needed > swc.vm_memory_bytes:
-                report.add_failure(
-                    f"SW-C {swc_name} memory budget exceeded: "
-                    f"{used} used + {needed} needed > {swc.vm_memory_bytes}"
-                )
+    def vehicle_health(self, vin: str) -> dict:
+        self._warn("vehicle_health", "vehicles.health")
+        return self.api.vehicles.health(vin).raise_legacy().value
 
 
 __all__ = [

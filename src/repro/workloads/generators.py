@@ -157,30 +157,48 @@ def make_synthetic_app(
     )
 
 
+#: Region palette synthetic vehicles cycle through (selector sweeps).
+SYNTH_REGIONS = ("eu-north", "eu-south", "na-east", "apac")
+
+
 def populate_server(
-    web,
+    target,
     config: SyntheticConfig,
     n_apps: int,
     n_vehicles: int,
     seed: int = 0,
 ) -> None:
-    """Fill a WebServices facade with a synthetic store."""
+    """Fill a server's store with a synthetic fleet and APP catalogue.
+
+    ``target`` is a :class:`~repro.server.services.fleetapi.FleetAPI`
+    (preferred) or the legacy ``WebServices`` shim — the shim's own
+    FleetAPI is used in that case, keeping benchmark runs free of
+    deprecation noise.  Vehicles cycle through :data:`SYNTH_REGIONS`.
+    """
+    api = getattr(target, "api", target)
     rng = SeededStream(seed, "server-workload")
-    web.create_user("u0", "Synthetic User")
+    api.vehicles.create_user("u0", "Synthetic User").unwrap()
     for v in range(n_vehicles):
         model_index = v % config.models
         hw, system_sw = make_vehicle_confs(config, model_index)
         vin = f"SYNTH-{v:05d}"
-        web.register_vehicle(vin, synth_model_name(model_index), hw, system_sw)
-        web.bind_vehicle("u0", vin)
+        api.vehicles.register(
+            vin,
+            synth_model_name(model_index),
+            hw,
+            system_sw,
+            region=SYNTH_REGIONS[v % len(SYNTH_REGIONS)],
+        ).unwrap()
+        api.vehicles.bind("u0", vin).unwrap()
     existing: list[str] = []
     for a in range(n_apps):
         app = make_synthetic_app(config, a, rng, existing)
-        web.upload_app(app)
+        api.store.upload(app).unwrap()
         existing.append(app.name)
 
 
 __all__ = [
+    "SYNTH_REGIONS",
     "SyntheticConfig",
     "synth_model_name",
     "make_vehicle_confs",

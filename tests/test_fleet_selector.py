@@ -1,0 +1,186 @@
+"""FleetSelector property tests: boolean algebra laws, serialization.
+
+Hypothesis generates random fleets (models, regions, connectivity,
+installation records) and random selector trees, then pins the algebra:
+``&``/``|``/``~`` compose exactly like Python's ``and``/``or``/``not``,
+De Morgan and double negation hold, ``all()``/``none()`` are the
+identity and annihilator, and every selector tree survives a
+``to_dict``/``from_dict`` round trip both structurally and
+semantically.  Empty-fleet edge cases run against a real server's
+query endpoint.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.network.sockets import NetworkFabric
+from repro.server.models import (
+    HwConf,
+    InstallStatus,
+    InstalledApp,
+    SystemSwConf,
+    Vehicle,
+    VehicleConf,
+)
+from repro.server.server import TrustedServer
+from repro.server.services import FleetSelector as S
+from repro.sim import Simulator
+
+import pytest
+
+MODELS = ("model-a", "model-b", "model-c")
+REGIONS = ("", "eu-north", "na-east")
+APPS = ("app-1", "app-2")
+VERSIONS = ("1.0", "2.0")
+
+
+def make_vehicle(vin, model, region, online, installed):
+    vehicle = Vehicle(
+        vin,
+        model,
+        VehicleConf(HwConf(model, ()), SystemSwConf(())),
+        region=region,
+        online=online,
+    )
+    for app, version, status in installed:
+        vehicle.conf.installed[app] = InstalledApp(app, version, status)
+    return vehicle
+
+
+vehicles = st.builds(
+    make_vehicle,
+    vin=st.sampled_from([f"VIN-{i:04d}" for i in range(8)]),
+    model=st.sampled_from(MODELS),
+    region=st.sampled_from(REGIONS),
+    online=st.booleans(),
+    installed=st.lists(
+        st.tuples(
+            st.sampled_from(APPS),
+            st.sampled_from(VERSIONS),
+            st.sampled_from(list(InstallStatus)),
+        ),
+        max_size=2,
+        unique_by=lambda row: row[0],
+    ),
+)
+
+leaves = st.one_of(
+    st.just(S.all()),
+    st.just(S.none()),
+    st.just(S.online()),
+    st.just(S.healthy()),
+    st.builds(S.model, st.sampled_from(MODELS)),
+    st.builds(S.region, st.sampled_from(REGIONS)),
+    st.builds(
+        S.vins,
+        st.frozensets(
+            st.sampled_from([f"VIN-{i:04d}" for i in range(8)]), max_size=4
+        ),
+    ),
+    st.builds(
+        S.installed,
+        st.sampled_from(APPS),
+        st.sampled_from((None,) + VERSIONS),
+    ),
+    st.builds(
+        S.app_status,
+        st.sampled_from(APPS),
+        st.sampled_from(list(InstallStatus)),
+    ),
+)
+
+selectors = st.recursive(
+    leaves,
+    lambda children: st.one_of(
+        st.builds(lambda a, b: a & b, children, children),
+        st.builds(lambda a, b: a | b, children, children),
+        st.builds(lambda a: ~a, children),
+    ),
+    max_leaves=8,
+)
+
+
+class TestAlgebraLaws:
+    @given(a=selectors, b=selectors, v=vehicles)
+    @settings(max_examples=200, deadline=None)
+    def test_connectives_match_python_booleans(self, a, b, v):
+        assert (a & b).matches(v) == (a.matches(v) and b.matches(v))
+        assert (a | b).matches(v) == (a.matches(v) or b.matches(v))
+        assert (~a).matches(v) == (not a.matches(v))
+
+    @given(a=selectors, b=selectors, v=vehicles)
+    @settings(max_examples=150, deadline=None)
+    def test_de_morgan(self, a, b, v):
+        assert (~(a & b)).matches(v) == ((~a) | (~b)).matches(v)
+        assert (~(a | b)).matches(v) == ((~a) & (~b)).matches(v)
+
+    @given(a=selectors, v=vehicles)
+    @settings(max_examples=150, deadline=None)
+    def test_identity_annihilator_involution(self, a, v):
+        assert (a & S.all()).matches(v) == a.matches(v)
+        assert (a | S.none()).matches(v) == a.matches(v)
+        assert not (a & S.none()).matches(v)
+        assert (a | S.all()).matches(v)
+        assert (~~a).matches(v) == a.matches(v)
+
+    @given(a=selectors, b=selectors, v=vehicles)
+    @settings(max_examples=100, deadline=None)
+    def test_commutativity(self, a, b, v):
+        assert (a & b).matches(v) == (b & a).matches(v)
+        assert (a | b).matches(v) == (b | a).matches(v)
+
+
+class TestSerialization:
+    @given(a=selectors)
+    @settings(max_examples=200, deadline=None)
+    def test_round_trip_is_structural_identity(self, a):
+        assert S.from_dict(a.to_dict()) == a
+
+    @given(a=selectors, v=vehicles)
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_preserves_semantics(self, a, v):
+        assert S.from_dict(a.to_dict()).matches(v) == a.matches(v)
+
+    def test_malformed_dicts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            S.from_dict({"op": "teleport"})
+        with pytest.raises(ConfigurationError):
+            S.from_dict({"model": "x"})
+        with pytest.raises(ConfigurationError):
+            S.from_dict(None)
+        # Known op, broken operands: still ConfigurationError, never a
+        # raw KeyError/ValueError leaking from the registry.
+        with pytest.raises(ConfigurationError):
+            S.from_dict({"op": "model"})
+        with pytest.raises(ConfigurationError):
+            S.from_dict({"op": "app_status", "app": "x", "status": "bogus"})
+        with pytest.raises(ConfigurationError):
+            S.from_dict({"op": "and", "left": {"op": "all"}})
+
+    def test_algebra_rejects_non_selectors(self):
+        with pytest.raises(ConfigurationError):
+            S.all() & (lambda v: True)  # type: ignore[operator]
+
+
+class TestEmptyFleetQueries:
+    @pytest.fixture(scope="class")
+    def empty_server(self):
+        return TrustedServer(NetworkFabric(Simulator()))
+
+    @given(a=selectors)
+    @settings(max_examples=60, deadline=None)
+    def test_query_on_empty_fleet_is_empty(self, a):
+        server = TrustedServer(NetworkFabric(Simulator()))
+        assert server.api.vehicles.query(a).unwrap() == []
+        assert server.api.vehicles.query_vins(a) == []
+
+    def test_query_without_selector_is_whole_fleet(self, empty_server):
+        assert empty_server.api.vehicles.query().unwrap() == []
+
+    def test_query_rejects_plain_callables(self, empty_server):
+        from repro.server.services import ErrorCode
+
+        response = empty_server.api.vehicles.query(lambda v: True)
+        assert not response.ok
+        assert response.code is ErrorCode.INVALID_REQUEST
