@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Gate CI on the committed benchmark result files.
+
+Every ``BENCH_*.json`` the benchmark suites produce must exist at the
+repo root, parse as JSON, and contain at least one non-empty section —
+a benchmark that silently stopped writing its file should fail the
+build, not upload an empty artifact.
+
+Usage: ``python scripts/check_bench.py [name ...]``; with no arguments,
+checks the default set.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Benchmark files CI requires (kept in sync with the suites in
+#: ``benchmarks/`` that call ``record_section``).
+REQUIRED = (
+    "BENCH_campaign.json",
+    "BENCH_fleetapi.json",
+    "BENCH_telemetry.json",
+)
+
+
+def check(name: str) -> str | None:
+    """Problem description for one file, or None when it is healthy."""
+    path = ROOT / name
+    if not path.exists():
+        return f"{name}: missing (benchmark suite did not write it)"
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        return f"{name}: unparsable JSON ({error})"
+    if not isinstance(data, dict) or not data:
+        return f"{name}: expected a non-empty JSON object of sections"
+    empty = [section for section, payload in data.items() if not payload]
+    if empty:
+        return f"{name}: empty sections {empty}"
+    return None
+
+
+def main(argv: list[str]) -> int:
+    names = argv or list(REQUIRED)
+    problems = [problem for name in names if (problem := check(name))]
+    for problem in problems:
+        print(f"FAIL {problem}", file=sys.stderr)
+    for name in names:
+        if not any(problem.startswith(name) for problem in problems):
+            sections = list(json.loads((ROOT / name).read_text()))
+            print(f"ok   {name}: sections {sections}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

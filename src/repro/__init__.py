@@ -14,6 +14,9 @@ Reproduction of Ni, Kobetski & Axelsson, DAC 2014.  The package layers:
   :class:`Platform` and unified :class:`Deployment` handles.
 * :mod:`repro.campaign` — staged fleet rollouts: wave policies, canary
   waves, health gates, fault injection, automatic rollback.
+* :mod:`repro.telemetry` — bounded observability: the control plane's
+  ring-buffer event bus, a metrics registry, and telemetry-driven
+  :class:`SoakPolicy` gates for campaigns.
 * :mod:`repro.baselines`, :mod:`repro.workloads`, :mod:`repro.analysis`
   — experiment support.
 
@@ -69,6 +72,7 @@ from repro.api import (
     ScenarioBuilder,
     SelectorWaves,
     ServicePort,
+    SoakPolicy,
     VehicleBuilder,
 )
 from repro.fes import (
@@ -114,6 +118,7 @@ __all__ = [
     "HealthPolicy",
     "PercentageWaves",
     "RollbackPolicy",
+    "SoakPolicy",
     # demonstrator + fleets
     "ExamplePlatform",
     "Fleet",

@@ -30,6 +30,7 @@ from repro.campaign import (
     PercentageWaves,
     RollbackPolicy,
     SelectorWaves,
+    SoakPolicy,
 )
 from repro.core.plugin_swc import PluginSwcSpec, RelayLink, ServicePort
 from repro.errors import ConfigurationError, DeploymentTimeout
@@ -81,4 +82,5 @@ __all__ = [
     "HealthPolicy",
     "PercentageWaves",
     "RollbackPolicy",
+    "SoakPolicy",
 ]

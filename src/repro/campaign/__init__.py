@@ -18,6 +18,9 @@ provides exactly that on top of the existing platform machinery:
   failed installations.
 * :class:`CampaignReport` — per-wave timelines, the event log, and the
   final per-VIN :class:`Disposition` of every targeted vehicle.
+* :class:`SoakPolicy` (re-exported from :mod:`repro.telemetry`) —
+  telemetry-driven soak gates: waves promote only after their vehicles
+  report clean health against a pre-update fleet baseline.
 """
 
 from repro.campaign.engine import DEFAULT_RUN_TIMEOUT_US, CampaignEngine
@@ -42,6 +45,7 @@ from repro.campaign.spec import (
     SelectorWaves,
     WavePolicy,
 )
+from repro.telemetry.soak import SoakMonitor, SoakPolicy, SoakVerdict
 
 __all__ = [
     "CampaignEngine",
@@ -54,6 +58,9 @@ __all__ = [
     "SelectorWaves",
     "HealthPolicy",
     "RollbackPolicy",
+    "SoakPolicy",
+    "SoakMonitor",
+    "SoakVerdict",
     "FaultPlan",
     "FaultStats",
     "FaultInjector",

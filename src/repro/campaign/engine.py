@@ -53,7 +53,8 @@ from repro.server.services.campaigns import (
     CampaignService,
 )
 from repro.server.services.deployments import ServerEvent
-from repro.sim.kernel import SECOND, EventHandle
+from repro.sim.kernel import SECOND, EventHandle, format_time
+from repro.telemetry.soak import SoakMonitor, VehicleBaseline
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.api.platform import Platform
@@ -98,6 +99,14 @@ class CampaignEngine:
         self._rollback_pending: set[str] = set()
         self._timer: Optional[EventHandle] = None
         self._timer_generation = 0
+        #: Telemetry plumbing: the control plane's bounded event bus
+        #: (None only for exotic server stand-ins without one).
+        self._bus = getattr(self._api, "telemetry", None)
+        self._baseline: dict[str, VehicleBaseline] = {}
+        self._soak_monitor: Optional[SoakMonitor] = None
+        self._soak_generation = 0
+        self._bus_t0 = (0, 0)
+        self._pusher_t0 = (0, 0)
 
     # -- plumbing --------------------------------------------------------------
 
@@ -120,6 +129,9 @@ class CampaignEngine:
             self.done = True
             self._disarm_timer()
             self._api.deployments.remove_listener(self._on_server_event)
+            if self._bus is not None:
+                self._bus.unsubscribe(self._on_telemetry)
+            self._soak_monitor = None
             self.report.status = "orphaned"
             self._log("campaign_orphaned", detail="server restarted")
         return True
@@ -132,6 +144,14 @@ class CampaignEngine:
         self.report.events.append(
             CampaignEvent(self._sim.now, kind, self._wave_index, vin, detail)
         )
+        if self._bus is not None:
+            # Mirror the timeline onto the observability pipeline: the
+            # feed for the future live event-stream endpoint.
+            self._bus.publish(
+                "campaign", kind, self._sim.now, vin=vin,
+                campaign_id=self.campaign_id, wave=self._wave_index,
+                detail=detail,
+            )
 
     def _arm_timer(self, delay_us: int, callback) -> None:
         self._timer_generation += 1
@@ -178,6 +198,18 @@ class CampaignEngine:
         targets = self.spec.resolve_targets(self.platform.vins, resolve)
         waves = self.spec.partition_targets(targets, resolve)
         self.report.started_us = self._sim.now
+        if self._bus is not None:
+            self._bus_t0 = (self._bus.published(), self._bus.dropped())
+        pusher = self._api.pusher
+        self._pusher_t0 = (pusher.pushed, pusher.dropped_messages)
+        if self.spec.soak is not None:
+            self._baseline = self._capture_baseline(targets)
+            self._log(
+                "baseline_captured",
+                detail=f"{len(self._baseline)} vehicles",
+            )
+            if self._bus is not None:
+                self._bus.subscribe(self._on_telemetry, categories=("diag",))
         self.report.waves = [
             WaveReport(
                 index=index,
@@ -415,17 +447,154 @@ class CampaignEngine:
             self._begin_rollback(index)
             return
         self._log("gate_passed")
+        if self.spec.soak is not None and wave.updated > 0:
+            # Telemetry-driven soak replaces the blind canary pause: the
+            # wave is promoted only after its vehicles report clean
+            # health over the soak window.
+            self._begin_soak(index)
+            return
+        self._schedule_promotion(
+            index,
+            self.spec.canary_soak_us if wave.canary else self.spec.pause_us,
+        )
+
+    def _schedule_promotion(self, index: int, pause_us: int) -> None:
+        """Finish the campaign, or dispatch the next wave after a pause."""
         if index + 1 >= len(self.report.waves):
             self._finish(SUCCEEDED)
             return
-        pause = (
-            self.spec.canary_soak_us if wave.canary else self.spec.pause_us
-        )
         self._sim.schedule(
-            pause,
+            pause_us,
             lambda: self._start_wave(index + 1),
             f"campaign:wave{index + 1}",
         )
+
+    # -- soak gate -------------------------------------------------------------
+
+    def _capture_baseline(self, targets) -> dict:
+        """Pre-update counters per target vehicle, summed over every
+        plug-in-hosting SW-C (the ECM included — apps may place plug-ins
+        there too).
+
+        Captured once, before wave 0 dispatches, so every wave's soak
+        verdict compares against the same untouched fleet.
+        """
+        vehicles = {vehicle.vin: vehicle for vehicle in self.platform.vehicles}
+        baseline: dict[str, VehicleBaseline] = {}
+        for vin in targets:
+            vehicle = vehicles.get(vin)
+            if vehicle is None:
+                continue
+            traps = activations = memory = 0
+            for placement in vehicle.spec.all_placements():
+                try:
+                    pirte = vehicle.pirte_of(placement.instance_name)
+                except ConfigurationError:
+                    # Freshly built platform: the ECU's init task (which
+                    # creates the PIRTE) is still queued on the kernel.
+                    # Nothing has run, so the true counters are zero.
+                    continue
+                memory += pirte.pool.used_blocks
+                for plugin in pirte.plugins.values():
+                    traps += plugin.vm.traps
+                    activations += plugin.vm.activations
+            baseline[vin] = VehicleBaseline(
+                vin=vin, traps=traps, activations=activations,
+                memory_used_blocks=memory,
+            )
+        return baseline
+
+    def _on_telemetry(self, event) -> None:
+        """Bus tap: feed incoming diag reports into the open soak window."""
+        monitor = self._soak_monitor
+        if monitor is None or self.done:
+            return
+        monitor.observe(
+            event.vin,
+            event.data.get("swc", ""),
+            event.data.get("traps", 0),
+            event.data.get("activations", 0),
+            event.data.get("memory_used_blocks", 0),
+        )
+
+    def _begin_soak(self, index: int) -> None:
+        policy = self.spec.soak
+        wave = self.report.waves[index]
+        wave.soak_started_us = self._sim.now
+        vins = [
+            vin
+            for vin in wave.vins
+            if self.report.dispositions.get(vin) is Disposition.UPDATED
+        ]
+        self._soak_monitor = SoakMonitor(vins)
+        self._soak_generation += 1
+        generation = self._soak_generation
+        self._log(
+            "soak_started",
+            detail=f"{len(vins)} vehicles for {format_time(policy.window_us)}",
+        )
+        # Sample at every interval boundary inside the window; skipping
+        # the final boundary leaves a full interval for the last report
+        # to transit SW-C -> ECM -> server before the verdict.
+        ticks = max(1, policy.window_us // policy.sample_interval_us)
+        for k in range(ticks):
+            self._sim.schedule(
+                k * policy.sample_interval_us,
+                lambda g=generation: self._soak_tick(g),
+                "campaign:soak-tick",
+            )
+        self._arm_timer(policy.window_us, lambda: self._resolve_soak(index))
+
+    def _soak_tick(self, generation: int) -> None:
+        """Ask every soaking vehicle's SW-Cs to report health.
+
+        Each report rides the real telemetry path — type I port to the
+        ECM (the ECM's own report goes straight up its server link),
+        wide-area link to the trusted server, control-plane bus — so
+        the soak verdict sees exactly what an operator's dashboard
+        would, delays and drops included.
+        """
+        if (
+            self.done
+            or generation != self._soak_generation
+            or self._soak_monitor is None
+            or self._check_orphaned()
+        ):
+            return
+        monitored = set(self._soak_monitor.vins)
+        for vehicle in self.platform.vehicles:
+            if vehicle.vin not in monitored:
+                continue
+            for placement in vehicle.spec.all_placements():
+                vehicle.pirte_of(placement.instance_name).emit_diagnostics()
+
+    def _resolve_soak(self, index: int) -> None:
+        policy = self.spec.soak
+        wave = self.report.waves[index]
+        monitor = self._soak_monitor
+        self._soak_monitor = None
+        self._soak_generation += 1  # kill stray ticks
+        if policy is None or monitor is None:
+            return
+        verdict = policy.evaluate(self._baseline, monitor)
+        wave.soak_resolved_us = self._sim.now
+        wave.soak_samples = monitor.total_samples
+        wave.soak_anomalies = dict(verdict.anomalies)
+        wave.soak_breaches = list(verdict.breaches)
+        for vin, reason in verdict.anomalies:
+            self._log("soak_anomaly", vin, reason)
+        if verdict.breaches:
+            self._log("soak_failed", detail="; ".join(verdict.breaches))
+            self._begin_rollback(index)
+            return
+        self._log(
+            "soak_passed",
+            detail=(
+                f"{monitor.total_samples} reports from "
+                f"{verdict.checked} vehicles"
+            ),
+        )
+        self._schedule_promotion(index, self.spec.pause_us)
 
     # -- rollback --------------------------------------------------------------
 
@@ -531,11 +700,92 @@ class CampaignEngine:
         self.report.status = status
         self.report.finished_us = self._sim.now
         self._log("campaign_done", detail=status)
+        self._soak_monitor = None
+        if self._bus is not None:
+            self._bus.unsubscribe(self._on_telemetry)
+        # Snapshot metrics before the service persists the report so the
+        # database copy carries them too.
+        self.report.metrics = self._snapshot_metrics()
         self._deployments.remove_listener(self._on_server_event)
         if self.injector is not None:
             self.injector.detach()
         if self.service is not None:
             self.service.on_finished(self.campaign_id, self.report)
+
+    def _snapshot_metrics(self) -> dict:
+        """Deterministic per-campaign metric snapshot for the report.
+
+        Counters that live on process-wide objects (the telemetry bus,
+        the pusher) are reported as deltas from campaign start, so a
+        staged-then-resumed run and a fresh run of the same spec on the
+        same seed snapshot identical numbers.
+        """
+        report = self.report
+        finished = (
+            report.finished_us
+            if report.finished_us is not None
+            else self._sim.now
+        )
+        rollback_latency = None
+        if report.status == ROLLED_BACK:
+            trigger = next(
+                (
+                    event.time_us
+                    for event in report.events
+                    if event.kind in ("gate_breached", "soak_failed")
+                ),
+                None,
+            )
+            if trigger is not None:
+                rollback_latency = finished - trigger
+        waves = []
+        for wave in report.waves:
+            time_to_promote = None
+            if (
+                wave.started_us is not None
+                and not wave.breaches
+                and not wave.soak_breaches
+            ):
+                gate_end = (
+                    wave.soak_resolved_us
+                    if wave.soak_resolved_us is not None
+                    else wave.resolved_us
+                )
+                if gate_end is not None:
+                    time_to_promote = gate_end - wave.started_us
+            waves.append(
+                {
+                    "index": wave.index,
+                    "attempted": wave.attempted,
+                    "updated": wave.updated,
+                    "install_us": wave.duration_us,
+                    "soak_us": wave.soak_duration_us,
+                    "soak_samples": wave.soak_samples,
+                    "time_to_promote_us": time_to_promote,
+                }
+            )
+        pusher = self._api.pusher
+        telemetry = (
+            {
+                "published": self._bus.published() - self._bus_t0[0],
+                "dropped": self._bus.dropped() - self._bus_t0[1],
+            }
+            if self._bus is not None
+            else {"published": 0, "dropped": 0}
+        )
+        return {
+            "campaign_duration_us": finished - report.started_us,
+            "rollback_latency_us": rollback_latency,
+            "waves": waves,
+            "outbox": {
+                "pushed": pusher.pushed - self._pusher_t0[0],
+                "dropped_messages": (
+                    pusher.dropped_messages - self._pusher_t0[1]
+                ),
+                "outbox_bytes": pusher.outbox_bytes,
+            },
+            "telemetry": telemetry,
+        }
 
 
 __all__ = ["CampaignEngine", "DEFAULT_RUN_TIMEOUT_US"]

@@ -26,7 +26,8 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, FrozenSet
 
 from repro.core import messages as msg
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, UnknownEntityError
+from repro.server.models import InstallStatus
 from repro.server.pusher import PushVerdict
 from repro.sim.kernel import MS, SECOND
 from repro.sim.random import SeededStream
@@ -68,12 +69,39 @@ class FaultPlan:
     offline_after_max_us: int = 2 * SECOND
     offline_duration_us: int = 5 * SECOND
     nack_latency_us: int = 150 * MS
+    #: Soak-window anomalies: vehicles that install *cleanly* but then
+    #: misbehave — the failure shape only a telemetry-driven
+    #: :class:`~repro.telemetry.SoakPolicy` gate can catch.  Trap
+    #: anomalies burst ``soak_trap_count`` trapped activations on the
+    #: freshly installed plug-in ``soak_trap_after_us`` after its
+    #: install resolves; drain anomalies leak ``soak_drain_blocks``
+    #: from the hosting SW-C's memory pool.  ``*_vins`` script
+    #: deterministic casualties; ``*_rate`` dooms a seeded per-vehicle
+    #: fraction.
+    soak_trap_vins: FrozenSet[str] = field(default_factory=frozenset)
+    soak_trap_rate: float = 0.0
+    soak_trap_count: int = 5
+    soak_trap_after_us: int = 200 * MS
+    soak_drain_vins: FrozenSet[str] = field(default_factory=frozenset)
+    soak_drain_rate: float = 0.0
+    soak_drain_blocks: int = 8
+    soak_drain_after_us: int = 200 * MS
 
     def __post_init__(self) -> None:
         _rate("install_failure_rate", self.install_failure_rate)
         _rate("drop_rate", self.drop_rate)
         _rate("delay_rate", self.delay_rate)
         _rate("offline_rate", self.offline_rate)
+        _rate("soak_trap_rate", self.soak_trap_rate)
+        _rate("soak_drain_rate", self.soak_drain_rate)
+        if self.soak_trap_count < 0:
+            raise ConfigurationError("soak_trap_count must be >= 0")
+        if self.soak_drain_blocks < 0:
+            raise ConfigurationError("soak_drain_blocks must be >= 0")
+        if self.soak_trap_after_us < 0 or self.soak_drain_after_us < 0:
+            raise ConfigurationError(
+                "soak anomaly delays must be >= 0"
+            )
         if self.delay_min_us > self.delay_max_us:
             raise ConfigurationError(
                 "delay_min_us must be <= delay_max_us"
@@ -90,6 +118,12 @@ class FaultPlan:
         # container type the caller used.
         object.__setattr__(self, "doomed_vins", frozenset(self.doomed_vins))
         object.__setattr__(self, "flaky_vins", frozenset(self.flaky_vins))
+        object.__setattr__(
+            self, "soak_trap_vins", frozenset(self.soak_trap_vins)
+        )
+        object.__setattr__(
+            self, "soak_drain_vins", frozenset(self.soak_drain_vins)
+        )
 
     @property
     def active(self) -> bool:
@@ -100,6 +134,10 @@ class FaultPlan:
             or self.drop_rate
             or self.delay_rate
             or self.offline_rate
+            or self.soak_trap_vins
+            or self.soak_trap_rate
+            or self.soak_drain_vins
+            or self.soak_drain_rate
         )
 
     def to_dict(self) -> dict:
@@ -119,6 +157,14 @@ class FaultPlan:
             "offline_after_max_us": self.offline_after_max_us,
             "offline_duration_us": self.offline_duration_us,
             "nack_latency_us": self.nack_latency_us,
+            "soak_trap_vins": sorted(self.soak_trap_vins),
+            "soak_trap_rate": self.soak_trap_rate,
+            "soak_trap_count": self.soak_trap_count,
+            "soak_trap_after_us": self.soak_trap_after_us,
+            "soak_drain_vins": sorted(self.soak_drain_vins),
+            "soak_drain_rate": self.soak_drain_rate,
+            "soak_drain_blocks": self.soak_drain_blocks,
+            "soak_drain_after_us": self.soak_drain_after_us,
         }
 
     @classmethod
@@ -126,6 +172,8 @@ class FaultPlan:
         data = dict(data)
         data["doomed_vins"] = frozenset(data.get("doomed_vins", ()))
         data["flaky_vins"] = frozenset(data.get("flaky_vins", ()))
+        data["soak_trap_vins"] = frozenset(data.get("soak_trap_vins", ()))
+        data["soak_drain_vins"] = frozenset(data.get("soak_drain_vins", ()))
         return cls(**data)
 
 
@@ -139,6 +187,8 @@ class FaultStats:
     offline_events: int = 0
     requeued_in_flight: int = 0
     reconnects: int = 0
+    soak_traps_injected: int = 0
+    soak_blocks_drained: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -148,6 +198,8 @@ class FaultStats:
             "offline_events": self.offline_events,
             "requeued_in_flight": self.requeued_in_flight,
             "reconnects": self.reconnects,
+            "soak_traps_injected": self.soak_traps_injected,
+            "soak_blocks_drained": self.soak_blocks_drained,
         }
 
 
@@ -159,7 +211,13 @@ class FaultInjector:
         self.plan = plan
         self.stats = FaultStats()
         self._streams: dict[str, SeededStream] = {}
+        self._soak_streams: dict[str, SeededStream] = {}
         self._flaky_used: dict[str, int] = {}
+        self._anomalies_armed: set[str] = set()
+        # Live allocations modelling a resource leak; held so the
+        # drained blocks stay gone for the rest of the run.
+        self._drained: list = []
+        self._deployments = None
         self._attached = False
 
     def _stream(self, vin: str) -> SeededStream:
@@ -167,6 +225,15 @@ class FaultInjector:
         if stream is None:
             stream = SeededStream(self.plan.seed, f"faults:{vin}")
             self._streams[vin] = stream
+        return stream
+
+    def _soak_stream(self, vin: str) -> SeededStream:
+        # Separate path: soak-anomaly draws must never perturb the
+        # drop/delay/install draws of the same vehicle.
+        stream = self._soak_streams.get(vin)
+        if stream is None:
+            stream = SeededStream(self.plan.seed, f"faults:soak:{vin}")
+            self._soak_streams[vin] = stream
         return stream
 
     # -- life cycle ------------------------------------------------------------
@@ -177,6 +244,11 @@ class FaultInjector:
             return
         self._attached = True
         self.platform.server.pusher.set_push_filter(self._filter)
+        if self._faults_soak:
+            # Soak anomalies arm when an install resolves ACTIVE — the
+            # vehicle said yes, then misbehaves.
+            self._deployments = self.platform.server.api.deployments
+            self._deployments.add_listener(self._on_server_event)
         if self.plan.offline_rate > 0:
             for vin in self.platform.vins:
                 stream = self._stream(vin)
@@ -200,6 +272,9 @@ class FaultInjector:
             return
         self._attached = False
         self.platform.server.pusher.set_push_filter(None)
+        if self._deployments is not None:
+            self._deployments.remove_listener(self._on_server_event)
+            self._deployments = None
 
     # -- fault primitives ------------------------------------------------------
 
@@ -218,6 +293,100 @@ class FaultInjector:
         if not ecm.connected:
             ecm.connect_to_server()
             self.stats.reconnects += 1
+
+    # -- soak-window anomalies -------------------------------------------------
+
+    @property
+    def _faults_soak(self) -> bool:
+        return bool(
+            self.plan.soak_trap_vins
+            or self.plan.soak_trap_rate
+            or self.plan.soak_drain_vins
+            or self.plan.soak_drain_rate
+        )
+
+    def _on_server_event(self, event) -> None:
+        """Arm post-install anomalies when an install resolves ACTIVE."""
+        if event.kind != "install_resolved":
+            return
+        if event.status is not InstallStatus.ACTIVE:
+            return
+        vin = event.vin
+        if vin in self._anomalies_armed:
+            return
+        # One decision per vehicle per run, in install-resolution order
+        # — deterministic under the kernel's FIFO event ordering.
+        self._anomalies_armed.add(vin)
+        plan = self.plan
+        trap = vin in plan.soak_trap_vins or (
+            plan.soak_trap_rate > 0
+            and self._soak_stream(vin).chance(plan.soak_trap_rate)
+        )
+        drain = vin in plan.soak_drain_vins or (
+            plan.soak_drain_rate > 0
+            and self._soak_stream(vin).chance(plan.soak_drain_rate)
+        )
+        if trap:
+            self.platform.sim.schedule(
+                plan.soak_trap_after_us,
+                lambda: self._inject_trap_burst(vin, event.app_name),
+                f"faults:soak-trap:{vin}",
+            )
+        if drain:
+            self.platform.sim.schedule(
+                plan.soak_drain_after_us,
+                lambda: self._inject_drain(vin, event.app_name),
+                f"faults:soak-drain:{vin}",
+            )
+
+    def _installed_plugins(self, vin: str, app_name: str) -> list:
+        """(pirte, plugin) pairs of ``app_name``'s live plug-ins on ``vin``."""
+        try:
+            record = self.platform.server.db.vehicle(vin)
+        except UnknownEntityError:
+            return []
+        installed = record.conf.installed.get(app_name)
+        if installed is None:
+            return []
+        vehicle = self.platform.vehicle(vin)
+        pairs = []
+        for entry in installed.plugins:
+            try:
+                pirte = vehicle.pirte_of(entry.swc_name)
+            except (KeyError, ConfigurationError):
+                continue
+            plugin = pirte.plugins.get(entry.plugin_name)
+            if plugin is not None:
+                pairs.append((pirte, plugin))
+        return pairs
+
+    def _inject_trap_burst(self, vin: str, app_name: str) -> None:
+        """Burst trapped activations on the freshly installed plug-ins.
+
+        Books the traps exactly the way a real trapping activation
+        would: the VM's trap counter, the plug-in's failed-activation
+        counter, and the PIRTE's trapped-activation total all move, so
+        the next :class:`~repro.core.messages.DiagMessage` carries them.
+        """
+        for pirte, plugin in self._installed_plugins(vin, app_name):
+            for _ in range(self.plan.soak_trap_count):
+                plugin.vm.activations += 1
+                plugin.vm.traps += 1
+                plugin.failed_activations += 1
+                pirte.trapped_activations += 1
+                self.stats.soak_traps_injected += 1
+
+    def _inject_drain(self, vin: str, app_name: str) -> None:
+        """Leak blocks from the hosting SW-C's memory pool."""
+        pairs = self._installed_plugins(vin, app_name)
+        if not pairs:
+            return
+        pool = pairs[0][0].pool
+        for _ in range(self.plan.soak_drain_blocks):
+            if pool.free_blocks <= 0:
+                break
+            self._drained.append(pool.allocate(pool.block_size))
+            self.stats.soak_blocks_drained += 1
 
     # -- the push filter -------------------------------------------------------
 

@@ -61,12 +61,27 @@ class WaveReport:
     excluded: int = 0
     retries: int = 0
     breaches: list[str] = field(default_factory=list)
+    #: Telemetry-driven soak gate outcome (None/empty when the spec has
+    #: no :class:`~repro.telemetry.SoakPolicy` or the wave updated
+    #: nothing): window bounds, diag reports received, per-VIN anomaly
+    #: reasons, and the wave-level breach strings.
+    soak_started_us: Optional[int] = None
+    soak_resolved_us: Optional[int] = None
+    soak_samples: int = 0
+    soak_anomalies: dict[str, str] = field(default_factory=dict)
+    soak_breaches: list[str] = field(default_factory=list)
 
     @property
     def duration_us(self) -> Optional[int]:
         if self.started_us is None or self.resolved_us is None:
             return None
         return self.resolved_us - self.started_us
+
+    @property
+    def soak_duration_us(self) -> Optional[int]:
+        if self.soak_started_us is None or self.soak_resolved_us is None:
+            return None
+        return self.soak_resolved_us - self.soak_started_us
 
     def to_dict(self) -> dict:
         return {
@@ -82,6 +97,14 @@ class WaveReport:
             "excluded": self.excluded,
             "retries": self.retries,
             "breaches": list(self.breaches),
+            "soak_started_us": self.soak_started_us,
+            "soak_resolved_us": self.soak_resolved_us,
+            "soak_samples": self.soak_samples,
+            "soak_anomalies": {
+                vin: self.soak_anomalies[vin]
+                for vin in sorted(self.soak_anomalies)
+            },
+            "soak_breaches": list(self.soak_breaches),
         }
 
 
@@ -106,6 +129,10 @@ class CampaignReport:
     waves: list[WaveReport] = field(default_factory=list)
     dispositions: dict[str, Disposition] = field(default_factory=dict)
     events: list[CampaignEvent] = field(default_factory=list)
+    #: Per-campaign metric snapshot captured by the engine at finish:
+    #: per-wave time-to-promote, rollback latency, outbox pressure, and
+    #: telemetry-bus drop accounting.  Deterministic and JSON-ready.
+    metrics: dict = field(default_factory=dict)
 
     # -- queries ---------------------------------------------------------------
 
@@ -157,6 +184,7 @@ class CampaignReport:
                 for vin, value in sorted(self.dispositions.items())
             },
             "events": [event.to_dict() for event in self.events],
+            "metrics": self.metrics,
         }
 
     def summary(self) -> str:
@@ -189,11 +217,14 @@ class CampaignReport:
                 if wave.duration_us is not None
                 else "unresolved"
             )
-            gate = (
-                f"BREACH: {'; '.join(wave.breaches)}"
-                if wave.breaches
-                else "gate passed"
-            )
+            if wave.breaches:
+                gate = f"BREACH: {'; '.join(wave.breaches)}"
+            elif wave.soak_breaches:
+                gate = f"SOAK BREACH: {'; '.join(wave.soak_breaches)}"
+            elif wave.soak_resolved_us is not None:
+                gate = f"gate passed (soak: {wave.soak_samples} reports)"
+            else:
+                gate = "gate passed"
             lines.append(
                 f"  wave {wave.index}"
                 f"{' (canary)' if wave.canary else ''}: "

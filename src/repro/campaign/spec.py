@@ -21,6 +21,7 @@ from typing import Callable, Optional, Sequence, Union
 from repro.errors import ConfigurationError, PersistenceError
 from repro.server.services.selector import FleetSelector
 from repro.sim.kernel import MS, SECOND
+from repro.telemetry.soak import SoakPolicy
 
 
 # -- wave sizing ---------------------------------------------------------------
@@ -380,6 +381,12 @@ class CampaignSpec:
     wave_timeout_us: int = 30 * SECOND
     pause_us: int = 100 * MS
     canary_soak_us: int = 500 * MS
+    #: Telemetry-driven soak gate (see :class:`repro.telemetry.SoakPolicy`).
+    #: When set, every wave with updated vehicles soaks under sampled
+    #: DiagMessage telemetry before promotion; the blind ``canary_soak_us``
+    #: pause is replaced by the policy's window.  None keeps the legacy
+    #: time-only soak.
+    soak: Optional[SoakPolicy] = None
     user_id: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -486,6 +493,7 @@ class CampaignSpec:
             "wave_timeout_us": self.wave_timeout_us,
             "pause_us": self.pause_us,
             "canary_soak_us": self.canary_soak_us,
+            "soak": self.soak.to_dict() if self.soak is not None else None,
             "user_id": self.user_id,
         }
 
@@ -523,6 +531,13 @@ class CampaignSpec:
             wave_timeout_us=data["wave_timeout_us"],
             pause_us=data["pause_us"],
             canary_soak_us=data["canary_soak_us"],
+            # .get: payloads persisted before soak gates existed lack
+            # the key; they keep the legacy time-only soak.
+            soak=(
+                SoakPolicy.from_dict(data["soak"])
+                if data.get("soak") is not None
+                else None
+            ),
             user_id=data.get("user_id"),
         )
 

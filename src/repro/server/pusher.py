@@ -124,7 +124,19 @@ class Pusher:
         self._campaign_rank: dict[str, int] = {"": 0}
         # Campaign -> its queued entries in seq order (lazy deletion).
         self._by_campaign: dict[str, Deque[_Queued]] = {}
+        # Optional observability tap (set by FleetAPI); duck-typed so
+        # the pusher has no import dependency on repro.telemetry.
+        self._telemetry = None
         fabric.listen(address, self._on_connect)
+
+    @property
+    def now(self) -> int:
+        """Current simulated time (for services without a kernel ref)."""
+        return self._sim.now
+
+    def set_telemetry(self, bus) -> None:
+        """Attach a telemetry bus; drops are published as events."""
+        self._telemetry = bus
 
     def on_upstream(self, callback: Callable[[str, bytes], None]) -> None:
         """Install the handler for messages arriving from vehicles."""
@@ -271,6 +283,11 @@ class Pusher:
         self.dropped_by_campaign[entry.campaign] = (
             self.dropped_by_campaign.get(entry.campaign, 0) + 1
         )
+        if self._telemetry is not None:
+            self._telemetry.publish(
+                "pusher", "message_dropped", self._sim.now,
+                vin=entry.vin, campaign=entry.campaign, bytes=len(entry.raw),
+            )
         entry.raw = b""  # the index keeps only a shell
 
     def _trim_index(self, campaign: str) -> None:

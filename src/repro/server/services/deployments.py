@@ -79,10 +79,20 @@ class ServerEvent:
 class DeploymentService:
     """The install/uninstall control plane."""
 
-    def __init__(self, db: Database, pusher: Pusher, store: AppStore) -> None:
+    def __init__(
+        self,
+        db: Database,
+        pusher: Pusher,
+        store: AppStore,
+        telemetry=None,
+    ) -> None:
         self.db = db
         self.pusher = pusher
         self.store = store
+        #: Optional :class:`~repro.telemetry.TelemetryBus`; deployment
+        #: life-cycle events and relayed DiagMessage telemetry are
+        #: published onto it (duck-typed, None when unwired).
+        self.telemetry = telemetry
         self.deploys = 0
         self.rejected_deploys = 0
         self.acks_processed = 0
@@ -110,6 +120,11 @@ class DeploymentService:
         status: Optional[InstallStatus] = None,
     ) -> None:
         event = ServerEvent(kind, vin, app_name, status)
+        if self.telemetry is not None:
+            self.telemetry.publish(
+                "deploy", kind, self.pusher.now, vin=vin,
+                app=app_name, status=status.value if status else "",
+            )
         for callback in list(self._listeners):
             callback(event)
 
@@ -424,6 +439,17 @@ class DeploymentService:
         message = msg.decode(raw)
         if isinstance(message, msg.DiagMessage):
             self.db.vehicle(vin).health[message.source_swc] = message
+            if self.telemetry is not None:
+                self.telemetry.publish(
+                    "diag", "report", self.pusher.now, vin=vin,
+                    swc=message.source_swc,
+                    traps=sum(p.traps for p in message.plugins),
+                    activations=sum(p.activations for p in message.plugins),
+                    fuel_used=sum(p.fuel_used for p in message.plugins),
+                    memory_used_blocks=message.memory_used_blocks,
+                    memory_free_blocks=message.memory_free_blocks,
+                    plugins=len(message.plugins),
+                )
             return
         if not isinstance(message, msg.AckMessage):
             return

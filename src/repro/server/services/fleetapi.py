@@ -25,6 +25,7 @@ from repro.server.services.appstore import AppStore
 from repro.server.services.campaigns import CampaignService
 from repro.server.services.deployments import DeploymentService
 from repro.server.services.vehicles import VehicleService
+from repro.telemetry import TelemetryBus
 
 
 class FleetAPI:
@@ -36,11 +37,18 @@ class FleetAPI:
     def __init__(self, db: Database, pusher: Pusher) -> None:
         self.db = db
         self.pusher = pusher
+        #: Bounded observability pipeline.  Process state, not database
+        #: state: a simulated server restart rebuilds the API and starts
+        #: a fresh (empty) bus, exactly like a real in-memory pipeline.
+        self.telemetry = TelemetryBus()
         self.vehicles = VehicleService(db, pusher)
         self.store = AppStore(db)
-        self.deployments = DeploymentService(db, pusher, self.store)
+        self.deployments = DeploymentService(
+            db, pusher, self.store, telemetry=self.telemetry
+        )
         self.campaigns = CampaignService(db, self.deployments)
         pusher.on_upstream(self.deployments.on_vehicle_message)
+        pusher.set_telemetry(self.telemetry)
 
     def __repr__(self) -> str:
         return (

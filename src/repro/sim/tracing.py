@@ -10,6 +10,7 @@ turns them into the tables printed by the benchmarks.
 from __future__ import annotations
 
 import statistics
+import warnings
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Optional
@@ -146,46 +147,54 @@ class LatencyStats:
 
 
 class MetricSet:
-    """Named scalar metrics accumulated during a run (counters/gauges)."""
+    """Deprecated shim over :class:`repro.telemetry.MetricsRegistry`.
+
+    The registry adds windowed histograms with quantiles and
+    deterministic snapshots; this class keeps the legacy method names
+    (``incr``/``gauge``/``sample``/``counter``/``gauge_value``) working
+    for existing call sites.  New code should use the registry directly.
+    """
 
     def __init__(self) -> None:
-        self._counters: Counter[str] = Counter()
-        self._gauges: dict[str, float] = {}
-        self._samples: dict[str, list[float]] = defaultdict(list)
+        warnings.warn(
+            "MetricSet is deprecated; use "
+            "repro.telemetry.MetricsRegistry instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        # Local import: repro.sim is imported by repro.telemetry.soak,
+        # so a module-level import here would be circular.
+        from repro.telemetry.metrics import MetricsRegistry
+
+        self._registry = MetricsRegistry()
 
     def incr(self, name: str, amount: int = 1) -> None:
         """Increment a counter."""
-        self._counters[name] += amount
+        self._registry.inc(name, amount)
 
     def gauge(self, name: str, value: float) -> None:
         """Set a gauge to its latest value."""
-        self._gauges[name] = value
+        self._registry.set_gauge(name, value)
 
     def sample(self, name: str, value: float) -> None:
         """Append one observation to a sample series."""
-        self._samples[name].append(value)
+        self._registry.observe(name, value)
 
     def counter(self, name: str) -> int:
         """Current value of a counter (0 if never incremented)."""
-        return self._counters[name]
+        return self._registry.counter_value(name)
 
     def gauge_value(self, name: str) -> Optional[float]:
         """Latest value of a gauge, or None."""
-        return self._gauges.get(name)
+        return self._registry.gauge_value(name)
 
     def samples(self, name: str) -> list[float]:
         """All observations recorded under ``name``."""
-        return list(self._samples[name])
+        return self._registry.samples(name)
 
     def summary(self) -> dict[str, Any]:
-        """Flat dict of every counter, gauge, and sample mean."""
-        out: dict[str, Any] = dict(self._counters)
-        out.update(self._gauges)
-        for name, values in self._samples.items():
-            if values:
-                out[f"{name}.mean"] = statistics.fmean(values)
-                out[f"{name}.count"] = len(values)
-        return out
+        """Flat dict of every counter, gauge, and sample stats."""
+        return self._registry.summary()
 
     def __iter__(self) -> Iterator[tuple[str, Any]]:
         return iter(self.summary().items())

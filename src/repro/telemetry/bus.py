@@ -1,0 +1,249 @@
+"""Bounded structured event pipeline for fleet observability.
+
+A :class:`TelemetryBus` is the server-side collection point for
+everything the fleet reports back: per-SW-C :class:`DiagMessage`
+telemetry relayed through the ECMs, deployment life-cycle events, pusher
+back-pressure, and campaign timeline entries.  It is deliberately
+*bounded*: each category keeps a ring buffer of the most recent events,
+and anything evicted is counted instead of silently lost — a server
+process must never let observability grow without limit just because a
+campaign is noisy.
+
+Design points:
+
+* **Per-category ring buffers.**  Categories (``"diag"``, ``"deploy"``,
+  ``"campaign"``, ``"pusher"``, ...) are independent; a diag storm can
+  never evict deployment events.  Capacities are per-category with a
+  shared default; a capacity of 0 turns a category into a pure
+  tap-through (counted, never retained).
+* **Exact drop accounting.**  ``published == retained + dropped`` holds
+  per category at all times; the property tests pin it.
+* **Subscriber taps.**  Callbacks see every event *before* ring-buffer
+  eviction, so a live consumer (the campaign engine's soak monitor, a
+  future event-stream endpoint) is never subject to buffer pressure.
+  Taps run synchronously in publish order, which keeps runs
+  deterministic under the simulation kernel.
+
+The bus itself is clock-free: publishers stamp events with simulated
+time, so the bus works identically under the kernel and in plain unit
+tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Iterable, Optional
+
+#: Default per-category ring capacity.
+DEFAULT_CATEGORY_CAPACITY = 512
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One structured telemetry record.
+
+    ``category`` selects the ring buffer; ``name`` is the specific
+    event; ``vin`` is set for per-vehicle events and empty for
+    server-global ones; ``data`` carries event-specific detail.
+    """
+
+    time_us: int
+    category: str
+    name: str
+    vin: str = ""
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """Deterministic JSON-ready rendering (data keys sorted)."""
+        return {
+            "time_us": self.time_us,
+            "category": self.category,
+            "name": self.name,
+            "vin": self.vin,
+            "data": {key: self.data[key] for key in sorted(self.data)},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        vin = f" vin={self.vin}" if self.vin else ""
+        return f"<{self.time_us}us {self.category}.{self.name}{vin}>"
+
+
+class TelemetryBus:
+    """Bounded, tap-able, per-category event pipeline."""
+
+    def __init__(
+        self,
+        default_capacity: int = DEFAULT_CATEGORY_CAPACITY,
+        capacities: Optional[dict[str, int]] = None,
+    ) -> None:
+        if default_capacity < 0:
+            raise ValueError(
+                f"default capacity must be >= 0 (got {default_capacity})"
+            )
+        for category, capacity in (capacities or {}).items():
+            if capacity < 0:
+                raise ValueError(
+                    f"capacity for {category!r} must be >= 0 (got {capacity})"
+                )
+        self._default_capacity = default_capacity
+        self._capacities = dict(capacities or {})
+        self._buffers: dict[str, Deque[TelemetryEvent]] = {}
+        self._published: dict[str, int] = {}
+        self._dropped: dict[str, int] = {}
+        self._taps: list[
+            tuple[Callable[[TelemetryEvent], None], Optional[frozenset]]
+        ] = []
+
+    # -- configuration ---------------------------------------------------------
+
+    def capacity(self, category: str) -> int:
+        """Ring capacity in effect for ``category``."""
+        return self._capacities.get(category, self._default_capacity)
+
+    def set_capacity(self, category: str, capacity: int) -> None:
+        """Override one category's capacity (affects future publishes).
+
+        Shrinking below the current retained count evicts (and counts)
+        the oldest events immediately.
+        """
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0 (got {capacity})")
+        self._capacities[category] = capacity
+        buffer = self._buffers.get(category)
+        if buffer is not None:
+            resized: Deque[TelemetryEvent] = deque(maxlen=capacity or None)
+            while len(buffer) > capacity:
+                buffer.popleft()
+                self._dropped[category] = self._dropped.get(category, 0) + 1
+            resized.extend(buffer)
+            self._buffers[category] = resized
+
+    # -- publishing ------------------------------------------------------------
+
+    def publish(
+        self,
+        category: str,
+        name: str,
+        time_us: int,
+        vin: str = "",
+        **data: Any,
+    ) -> TelemetryEvent:
+        """Record one event; returns it (taps have already seen it)."""
+        return self.publish_event(
+            TelemetryEvent(time_us, category, name, vin, data)
+        )
+
+    def publish_event(self, event: TelemetryEvent) -> TelemetryEvent:
+        category = event.category
+        self._published[category] = self._published.get(category, 0) + 1
+        capacity = self.capacity(category)
+        if capacity == 0:
+            # Pure tap-through category: counted, never retained.
+            self._dropped[category] = self._dropped.get(category, 0) + 1
+        else:
+            buffer = self._buffers.get(category)
+            if buffer is None:
+                # maxlen=None would be unbounded; capacity 0 never gets here.
+                buffer = deque(maxlen=capacity)
+                self._buffers[category] = buffer
+            if len(buffer) == capacity:
+                self._dropped[category] = self._dropped.get(category, 0) + 1
+            buffer.append(event)
+        for callback, categories in list(self._taps):
+            if categories is None or category in categories:
+                callback(event)
+        return event
+
+    # -- taps ------------------------------------------------------------------
+
+    def subscribe(
+        self,
+        callback: Callable[[TelemetryEvent], None],
+        categories: Optional[Iterable[str]] = None,
+    ) -> Callable[[TelemetryEvent], None]:
+        """Attach a tap; returns ``callback`` for use with unsubscribe.
+
+        ``categories=None`` taps everything.  Taps see events before
+        ring eviction, in publish order, synchronously.
+        """
+        wanted = None if categories is None else frozenset(categories)
+        self._taps.append((callback, wanted))
+        return callback
+
+    def unsubscribe(self, callback: Callable[[TelemetryEvent], None]) -> None:
+        """Detach a previously subscribed tap (no-op when absent)."""
+        self._taps = [
+            (cb, wanted) for cb, wanted in self._taps if cb is not callback
+        ]
+
+    # -- queries ---------------------------------------------------------------
+
+    def events(
+        self,
+        category: Optional[str] = None,
+        name: Optional[str] = None,
+        vin: Optional[str] = None,
+    ) -> list[TelemetryEvent]:
+        """Retained events, oldest first, matching the given filters."""
+        if category is not None:
+            buffers = [self._buffers.get(category, deque())]
+        else:
+            buffers = [
+                self._buffers[key] for key in sorted(self._buffers)
+            ]
+        out = []
+        for buffer in buffers:
+            for event in buffer:
+                if name is not None and event.name != name:
+                    continue
+                if vin is not None and event.vin != vin:
+                    continue
+                out.append(event)
+        return out
+
+    def published(self, category: Optional[str] = None) -> int:
+        """Events ever published (to one category, or in total)."""
+        if category is not None:
+            return self._published.get(category, 0)
+        return sum(self._published.values())
+
+    def dropped(self, category: Optional[str] = None) -> int:
+        """Events evicted by capacity limits (per category, or total)."""
+        if category is not None:
+            return self._dropped.get(category, 0)
+        return sum(self._dropped.values())
+
+    def retained(self, category: Optional[str] = None) -> int:
+        """Events currently held in ring buffers."""
+        if category is not None:
+            return len(self._buffers.get(category, ()))
+        return sum(len(buffer) for buffer in self._buffers.values())
+
+    def __len__(self) -> int:
+        return self.retained()
+
+    def categories(self) -> list[str]:
+        """Every category that has seen at least one publish (sorted)."""
+        return sorted(self._published)
+
+    def snapshot(self) -> dict:
+        """Deterministic per-category accounting, JSON-ready."""
+        return {
+            category: {
+                "published": self._published.get(category, 0),
+                "retained": len(self._buffers.get(category, ())),
+                "dropped": self._dropped.get(category, 0),
+                "capacity": self.capacity(category),
+            }
+            for category in self.categories()
+        }
+
+    def clear(self) -> None:
+        """Drop retained events and reset counters (taps stay attached)."""
+        self._buffers.clear()
+        self._published.clear()
+        self._dropped.clear()
+
+
+__all__ = ["DEFAULT_CATEGORY_CAPACITY", "TelemetryEvent", "TelemetryBus"]

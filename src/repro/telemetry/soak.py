@@ -1,0 +1,253 @@
+"""Soak gates: promotion decisions from post-install telemetry.
+
+A :class:`SoakPolicy` turns the blind "wait and hope" canary soak into a
+telemetry-driven gate.  After a wave's installs resolve, the campaign
+engine samples the wave's vehicles over a soak window — each sample is a
+real :class:`~repro.core.messages.DiagMessage` travelling SW-C → ECM →
+server — and compares what arrives against a baseline captured from the
+pre-update fleet.  A vehicle is *anomalous* when its trap count grew
+beyond the allowance, its memory footprint grew beyond the allowance, or
+it failed to report at all (missing telemetry is treated as a failure,
+not a pass).  The wave breaches when more than
+``max_anomalous_fraction`` of its monitored vehicles are anomalous,
+which blocks promotion and triggers the campaign's rollback policy.
+
+All inputs derive from simulated time and seeded randomness, so the
+same seed produces byte-identical verdicts — the replay tests pin this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.kernel import MS, SECOND
+
+
+@dataclass(frozen=True)
+class VehicleBaseline:
+    """Pre-update counters for one vehicle (summed over plug-in SW-Cs)."""
+
+    vin: str
+    traps: int = 0
+    activations: int = 0
+    memory_used_blocks: int = 0
+
+
+class SoakMonitor:
+    """Accumulates diag telemetry for one soak window.
+
+    Diag reports are per SW-C; the monitor keeps the latest report per
+    ``(vin, swc)`` and sums across SW-Cs when asked for a vehicle
+    total, so a vehicle hosting several plug-in SW-Cs is judged on its
+    whole footprint.
+    """
+
+    def __init__(self, vins: Iterable[str]) -> None:
+        self.vins = sorted(vins)
+        self._wanted = set(self.vins)
+        self._latest: dict[str, dict[str, tuple[int, int, int]]] = {
+            vin: {} for vin in self.vins
+        }
+        self._samples: dict[str, int] = {vin: 0 for vin in self.vins}
+
+    def observe(
+        self,
+        vin: str,
+        swc: str,
+        traps: int,
+        activations: int,
+        memory_used_blocks: int,
+    ) -> bool:
+        """Record one diag report; False when ``vin`` is not monitored."""
+        if vin not in self._wanted:
+            return False
+        self._latest[vin][swc] = (traps, activations, memory_used_blocks)
+        self._samples[vin] += 1
+        return True
+
+    def samples(self, vin: str) -> int:
+        """Reports received from ``vin`` during this window."""
+        return self._samples.get(vin, 0)
+
+    @property
+    def total_samples(self) -> int:
+        return sum(self._samples.values())
+
+    def totals(self, vin: str) -> tuple[int, int, int]:
+        """Latest (traps, activations, memory_used_blocks) across SW-Cs."""
+        traps = activations = memory = 0
+        for swc_traps, swc_activations, swc_memory in self._latest.get(
+            vin, {}
+        ).values():
+            traps += swc_traps
+            activations += swc_activations
+            memory += swc_memory
+        return traps, activations, memory
+
+
+@dataclass(frozen=True)
+class SoakVerdict:
+    """Outcome of one soak-window evaluation."""
+
+    #: (vin, reason) pairs, sorted by VIN.
+    anomalies: tuple[tuple[str, str], ...]
+    #: Vehicles that were monitored.
+    checked: int
+    #: Wave-level breach descriptions; empty means the gate passes.
+    breaches: tuple[str, ...]
+
+    @property
+    def passed(self) -> bool:
+        return not self.breaches
+
+
+@dataclass(frozen=True)
+class SoakPolicy:
+    """Telemetry thresholds a wave must satisfy during its soak window.
+
+    ``max_trap_delta`` is the per-vehicle trap growth allowed over the
+    window relative to the pre-update baseline (the freshly installed
+    plug-in starts at zero traps, so any trap it takes counts).
+    ``max_memory_growth_blocks`` bounds used-block growth per vehicle;
+    note the newly installed plug-in's own footprint counts toward it,
+    so set the threshold above the expected install footprint (None
+    disables the check).  Vehicles delivering fewer than ``min_samples``
+    reports are anomalous — a vehicle that goes silent after an update
+    is a failure signal, not a free pass.  ``max_anomalous_fraction``
+    is the fraction of monitored vehicles allowed to be anomalous
+    before the wave breaches (0.0 = any anomaly breaches).
+    """
+
+    window_us: int = 2 * SECOND
+    sample_interval_us: int = 500 * MS
+    max_trap_delta: int = 0
+    max_memory_growth_blocks: Optional[int] = None
+    max_anomalous_fraction: float = 0.0
+    min_samples: int = 1
+
+    def __post_init__(self) -> None:
+        if self.window_us <= 0:
+            raise ConfigurationError(
+                f"soak window must be positive (got {self.window_us})"
+            )
+        if not 0 < self.sample_interval_us <= self.window_us:
+            raise ConfigurationError(
+                f"soak sample interval must be in (0, window] "
+                f"(got {self.sample_interval_us} for window {self.window_us})"
+            )
+        if self.max_trap_delta < 0:
+            raise ConfigurationError(
+                f"max_trap_delta must be >= 0 (got {self.max_trap_delta})"
+            )
+        if (
+            self.max_memory_growth_blocks is not None
+            and self.max_memory_growth_blocks < 0
+        ):
+            raise ConfigurationError(
+                f"max_memory_growth_blocks must be >= 0 "
+                f"(got {self.max_memory_growth_blocks})"
+            )
+        if not 0.0 <= self.max_anomalous_fraction <= 1.0:
+            raise ConfigurationError(
+                f"max_anomalous_fraction must be in [0, 1] "
+                f"(got {self.max_anomalous_fraction})"
+            )
+        if self.min_samples < 0:
+            raise ConfigurationError(
+                f"min_samples must be >= 0 (got {self.min_samples})"
+            )
+
+    # -- evaluation ------------------------------------------------------------
+
+    def evaluate(
+        self,
+        baseline: dict[str, VehicleBaseline],
+        monitor: SoakMonitor,
+    ) -> SoakVerdict:
+        """Judge one soak window.
+
+        Zero monitored vehicles passes vacuously, mirroring
+        :meth:`~repro.campaign.spec.HealthPolicy.breaches` on an empty
+        wave — there is nothing to divide by and nothing to measure.
+        """
+        anomalies: list[tuple[str, str]] = []
+        checked = len(monitor.vins)
+        if checked == 0:
+            return SoakVerdict(anomalies=(), checked=0, breaches=())
+        for vin in monitor.vins:
+            samples = monitor.samples(vin)
+            if samples < self.min_samples:
+                anomalies.append(
+                    (
+                        vin,
+                        f"insufficient telemetry "
+                        f"({samples}/{self.min_samples} reports)",
+                    )
+                )
+                continue
+            reference = baseline.get(vin) or VehicleBaseline(vin)
+            traps, _activations, memory = monitor.totals(vin)
+            trap_delta = traps - reference.traps
+            if trap_delta > self.max_trap_delta:
+                anomalies.append(
+                    (
+                        vin,
+                        f"trap delta {trap_delta} > {self.max_trap_delta}",
+                    )
+                )
+                continue
+            if self.max_memory_growth_blocks is not None:
+                growth = memory - reference.memory_used_blocks
+                if growth > self.max_memory_growth_blocks:
+                    anomalies.append(
+                        (
+                            vin,
+                            f"memory growth {growth} blocks > "
+                            f"{self.max_memory_growth_blocks}",
+                        )
+                    )
+        allowed = int(self.max_anomalous_fraction * checked)
+        breaches: tuple[str, ...] = ()
+        if len(anomalies) > allowed:
+            breaches = (
+                f"soak: {len(anomalies)}/{checked} vehicles anomalous "
+                f"(allowed {allowed})",
+            )
+        return SoakVerdict(
+            anomalies=tuple(sorted(anomalies)),
+            checked=checked,
+            breaches=breaches,
+        )
+
+    # -- persistence -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "window_us": self.window_us,
+            "sample_interval_us": self.sample_interval_us,
+            "max_trap_delta": self.max_trap_delta,
+            "max_memory_growth_blocks": self.max_memory_growth_blocks,
+            "max_anomalous_fraction": self.max_anomalous_fraction,
+            "min_samples": self.min_samples,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SoakPolicy":
+        return cls(
+            window_us=data["window_us"],
+            sample_interval_us=data["sample_interval_us"],
+            max_trap_delta=data["max_trap_delta"],
+            max_memory_growth_blocks=data.get("max_memory_growth_blocks"),
+            max_anomalous_fraction=data["max_anomalous_fraction"],
+            min_samples=data["min_samples"],
+        )
+
+
+__all__ = [
+    "VehicleBaseline",
+    "SoakMonitor",
+    "SoakVerdict",
+    "SoakPolicy",
+]

@@ -575,6 +575,40 @@ class TestCampaignPersistence:
         with pytest.raises(ConfigurationError):
             WavePolicy.from_dict({"kind": "fixed"})
 
+    def test_fault_plan_round_trips_with_soak_anomalies(self):
+        plan = FaultPlan(
+            seed=7,
+            doomed_vins={"VIN-0002"},
+            drop_rate=0.1,
+            soak_trap_vins={"VIN-0001", "VIN-0003"},
+            soak_trap_rate=0.25,
+            soak_trap_count=9,
+            soak_trap_after_us=300_000,
+            soak_drain_vins={"VIN-0004"},
+            soak_drain_rate=0.5,
+            soak_drain_blocks=16,
+            soak_drain_after_us=400_000,
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+        data = json.loads(json.dumps(plan.to_dict()))  # JSON-safe
+        assert FaultPlan.from_dict(data) == plan
+        # Pre-soak payloads without the anomaly keys still load.
+        legacy = {
+            key: value
+            for key, value in plan.to_dict().items()
+            if not key.startswith("soak_")
+        }
+        loaded = FaultPlan.from_dict(legacy)
+        assert loaded.soak_trap_vins == frozenset()
+        assert loaded.soak_drain_rate == 0.0
+        # Soak anomalies alone make a plan active.
+        assert FaultPlan(soak_trap_vins={"VIN-0001"}).active
+        assert FaultPlan(soak_drain_rate=0.1).active
+        with pytest.raises(ConfigurationError):
+            FaultPlan(soak_trap_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(soak_drain_blocks=-1)
+
     def test_stage_restart_resume_byte_identical_report(self):
         spec = persistent_spec()
         faults = FaultPlan(seed=5, doomed_vins={"VIN-0004"})
