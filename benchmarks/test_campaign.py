@@ -15,6 +15,9 @@ three ROADMAP axes.
   5% -> 25% -> 100%, seeded faults above the health threshold; the
   canary breaches, promotion halts, the wave rolls back, and two runs
   produce byte-identical reports.
+* ``statistical_scale_sweep`` — multi-fidelity headroom: one campaign
+  spanning fleets the full ECU/VM simulation cannot reach, with a
+  10-vehicle full-fidelity canary ahead of a statistical tail.
 """
 
 import time
@@ -36,15 +39,23 @@ def _record(section, payload):
     record_section(OUTPUT, section, payload)
 
 
-def _campaign(size, spec, faults=None, seed=3):
-    fleet = build_fleet(size, seed=seed)
-    fleet.server.api.store.upload(
-        make_remote_control_app(PHONE_ADDRESS)
-    ).unwrap()
-    start = time.perf_counter()
-    report = fleet.run_campaign(spec, faults=faults)
-    wall = time.perf_counter() - start
-    return report, wall
+def _campaign(size, spec, faults=None, seed=3, repeats=1):
+    """Run one campaign; with ``repeats`` > 1, report the best wall time.
+
+    Minimum-of-repeats is the robust wall-clock estimator on shared CI
+    hosts — the simulation is deterministic, so every repeat does
+    identical work and the spread is pure scheduler noise.
+    """
+    walls = []
+    for __ in range(repeats):
+        fleet = build_fleet(size, seed=seed)
+        fleet.server.api.store.upload(
+            make_remote_control_app(PHONE_ADDRESS)
+        ).unwrap()
+        start = time.perf_counter()
+        report = fleet.run_campaign(spec, faults=faults)
+        walls.append(time.perf_counter() - start)
+    return report, min(walls)
 
 
 def test_fleet_size_sweep_per_wave_policy():
@@ -57,7 +68,7 @@ def test_fleet_size_sweep_per_wave_policy():
     for policy_name, make_policy in policies:
         for size in (10, 25, 50):
             spec = replace(canary_campaign(APP), waves=make_policy(size))
-            report, wall = _campaign(size, spec)
+            report, wall = _campaign(size, spec, repeats=3)
             assert report.status == "succeeded"
             assert report.updated == size
             sim_time = report.finished_us - report.started_us
@@ -146,3 +157,50 @@ def test_breach_determinism():
         title="CAMPAIGN: canary breach determinism (100 vehicles)",
     )
     _record("breach_determinism", payload)
+
+
+def test_statistical_scale_sweep():
+    """Mixed-fidelity campaigns at fleet sizes well past the full-sim
+    ceiling: 10 full vehicles canary, statistical tail behind them."""
+    full = 10
+    rows, payload = [], []
+    for size in (1_000, 10_000):
+        build_start = time.perf_counter()
+        fleet = build_fleet(size, seed=3, full_vehicles=full)
+        build_wall = time.perf_counter() - build_start
+        fleet.server.api.store.upload(
+            make_remote_control_app(PHONE_ADDRESS)
+        ).unwrap()
+        spec = replace(
+            canary_campaign(APP),
+            waves=PercentageWaves((full / size, 1.0)),
+        )
+        start = time.perf_counter()
+        report = fleet.run_campaign(spec)
+        wall = time.perf_counter() - start
+        assert report.status == "succeeded"
+        assert report.updated == size
+        # The canary wave is exactly the full-fidelity prefix.
+        assert report.waves[0].vins == fleet.vins[:full]
+        sim_time = report.finished_us - report.started_us
+        payload.append(
+            {
+                "fleet_size": size,
+                "full_vehicles": full,
+                "waves": len(report.waves),
+                "sim_time_us": sim_time,
+                "build_s": round(build_wall, 3),
+                "wall_s": round(wall, 3),
+                "updated": report.updated,
+            }
+        )
+        rows.append(
+            [size, full, len(report.waves), f"{sim_time / 1000:.0f} ms",
+             f"{build_wall:.2f} s", f"{wall:.2f} s"]
+        )
+    print_table(
+        ["fleet", "full", "waves", "sim time", "build", "wall"],
+        rows,
+        title="CAMPAIGN: statistical fleet scale sweep",
+    )
+    _record("statistical_scale_sweep", payload)

@@ -6,6 +6,13 @@ repo root, parse as JSON, and contain at least one non-empty section —
 a benchmark that silently stopped writing its file should fail the
 build, not upload an empty artifact.
 
+On top of the structural checks, :data:`PERF_CEILINGS` turns this into
+a perf guard: committed wall-clock numbers for the kernel's flagship
+scenarios must stay under generous ceilings.  The ceilings catch an
+order-of-magnitude regression (an accidental O(n^2) in the event loop,
+tombstones piling up again), not host noise — the benchmark records
+min-of-repeats and the ceilings sit ~2x above the expected value.
+
 Usage: ``python scripts/check_bench.py [name ...]``; with no arguments,
 checks the default set.
 """
@@ -23,6 +30,53 @@ REQUIRED = (
     "BENCH_fleetapi.json",
     "BENCH_telemetry.json",
 )
+
+#: (file, section, row-match, field, ceiling).  Rows are matched by
+#: subset: every key in the match dict must equal the row's value.
+PERF_CEILINGS = (
+    # Full-fidelity staged rollout: 50 vehicles in waves of 10.  The
+    # tuple-heap kernel runs this in ~0.7s; the pre-optimization
+    # engine took ~2.2s.
+    (
+        "BENCH_campaign.json", "fleet_size_sweep",
+        {"policy": "fixed-10", "fleet_size": 50}, "wall_s", 1.5,
+    ),
+    # Multi-fidelity scale: 10k statistical vehicles behind a
+    # 10-vehicle full-simulation canary, one campaign.
+    (
+        "BENCH_campaign.json", "statistical_scale_sweep",
+        {"fleet_size": 10_000}, "wall_s", 15.0,
+    ),
+)
+
+
+def check_perf(name: str, data: dict) -> list[str]:
+    """Ceiling violations for one parsed benchmark file."""
+    problems = []
+    for file_name, section, match, field, ceiling in PERF_CEILINGS:
+        if file_name != name:
+            continue
+        rows = data.get(section)
+        if not isinstance(rows, list):
+            problems.append(f"{name}: section {section!r} missing for perf gate")
+            continue
+        hits = [
+            row for row in rows
+            if all(row.get(key) == value for key, value in match.items())
+        ]
+        if not hits:
+            problems.append(f"{name}: no {section} row matching {match}")
+            continue
+        for row in hits:
+            value = row.get(field)
+            if not isinstance(value, (int, float)):
+                problems.append(f"{name}: {section} {match} lacks {field!r}")
+            elif value > ceiling:
+                problems.append(
+                    f"{name}: {section} {match} {field}={value} exceeds "
+                    f"ceiling {ceiling} (perf regression)"
+                )
+    return problems
 
 
 def check(name: str) -> str | None:
@@ -45,6 +99,9 @@ def check(name: str) -> str | None:
 def main(argv: list[str]) -> int:
     names = argv or list(REQUIRED)
     problems = [problem for name in names if (problem := check(name))]
+    for name in names:
+        if not any(problem.startswith(name) for problem in problems):
+            problems.extend(check_perf(name, json.loads((ROOT / name).read_text())))
     for problem in problems:
         print(f"FAIL {problem}", file=sys.stderr)
     for name in names:

@@ -41,6 +41,7 @@ from repro.autosar.swc import ComponentType
 from repro.core.plugin_swc import PluginSwcSpec, RelayLink, ServicePort
 from repro.errors import ConfigurationError
 from repro.fes.phone import Smartphone
+from repro.fes.statistical import StatisticalModel, StatisticalVehicle
 from repro.fes.vehicle import (
     LegacyComponent,
     PluginSwcPlacement,
@@ -74,6 +75,7 @@ class VehicleBuilder:
         self.vin = vin
         self.model = model
         self._region = ""
+        self._fidelity = "full"
         self._ecus: list[str] = []
         self._ecm: Optional[PluginSwcPlacement] = None
         self._plugin_swcs: list[PluginSwcPlacement] = []
@@ -88,6 +90,20 @@ class VehicleBuilder:
         queries and selector-based campaign waves key on them.
         """
         self._region = name
+        return self
+
+    def statistical(self) -> "VehicleBuilder":
+        """Build this vehicle at statistical fidelity.
+
+        The declaration (ECUs, placements, ports) still validates and
+        registers with the server exactly as a full vehicle would, but
+        ``build()`` produces a
+        :class:`~repro.fes.statistical.StatisticalVehicle` instead of
+        the ECU/VM substrate — the bulk-fleet half of a multi-fidelity
+        campaign.  The model comes from
+        :meth:`ScenarioBuilder.statistical_model`.
+        """
+        self._fidelity = "statistical"
         return self
 
     # -- hardware ------------------------------------------------------------
@@ -277,6 +293,7 @@ class VehicleBuilder:
             vin=self.vin,
             model=self.model,
             region=self._region,
+            fidelity=self._fidelity,
             ecus=list(self._ecus),
             ecm=self._ecm,
             plugin_swcs=list(self._plugin_swcs),
@@ -456,6 +473,7 @@ class ScenarioBuilder:
         self._apps: list[Union[AppBuilder, App]] = []
         self._phones: dict[str, ChannelProfile] = {}
         self._users: list[tuple[str, str]] = []
+        self._statistical_model: Optional["StatisticalModel"] = None
 
     # -- infrastructure ------------------------------------------------------
 
@@ -477,6 +495,20 @@ class ScenarioBuilder:
     def server(self, address: str) -> "ScenarioBuilder":
         """Set the trusted server's pre-defined address."""
         self._server_address = address
+        return self
+
+    def statistical_model(
+        self, model: "StatisticalModel"
+    ) -> "ScenarioBuilder":
+        """Set the response model for statistical-fidelity vehicles.
+
+        Applies to every vehicle declared with
+        :meth:`VehicleBuilder.statistical` (or a spec with
+        ``fidelity="statistical"``); the default-constructed
+        :class:`~repro.fes.statistical.StatisticalModel` is used when
+        unset.
+        """
+        self._statistical_model = model
         return self
 
     def user(self, user_id: str, name: Optional[str] = None) -> "ScenarioBuilder":
@@ -552,10 +584,16 @@ class ScenarioBuilder:
         specs = self.vehicle_specs()  # validate before constructing
         sim = Simulator()
         tracer = Tracer(enabled=self._trace)
+        # Subsystems get None (not a disabled tracer) when tracing is
+        # off: hot paths guard with ``if self.tracer:``, and None makes
+        # that check free instead of an emit call that discards its
+        # point.  The platform still exposes the Tracer object so
+        # ``platform.tracer.count(...)`` keeps working (it reads zero).
+        sub_tracer = tracer if self._trace else None
         fabric = NetworkFabric(
             sim,
             StreamFactory(self._seed),
-            tracer=tracer,
+            tracer=sub_tracer,
             default_profile=self._default_profile,
         )
         server = TrustedServer(fabric, self._server_address)
@@ -569,7 +607,14 @@ class ScenarioBuilder:
             fabric.set_listener_profile(address, profile)
         vehicles = []
         for spec in specs:
-            vehicle = build_vehicle(spec, fabric, sim=sim, tracer=tracer)
+            if spec.fidelity == "statistical":
+                vehicle = StatisticalVehicle(
+                    spec, fabric, sim, model=self._statistical_model
+                )
+            else:
+                vehicle = build_vehicle(
+                    spec, fabric, sim=sim, tracer=sub_tracer
+                )
             vehicles.append(vehicle)
             hw, system_sw = spec.describe_for_server()
             server.api.vehicles.register(

@@ -30,6 +30,9 @@ class Alarm:
         self._cycle_us = 0
         self.expirations = 0
         self.armed = False
+        # Precomputed once: a cyclic alarm re-schedules every expiration,
+        # and building the label f-string per tick shows up in profiles.
+        self._label = f"alarm:{name}"
 
     def set_relative(self, offset_us: int, cycle_us: int = 0) -> None:
         """OSEK SetRelAlarm: fire after ``offset_us``; repeat every
@@ -40,9 +43,7 @@ class Alarm:
             raise OsekError(f"alarm {self.name}: negative offset or cycle")
         self._cycle_us = cycle_us
         self.armed = True
-        self._handle = self.sim.schedule(
-            offset_us, self._expire, f"alarm:{self.name}"
-        )
+        self._handle = self.sim.schedule(offset_us, self._expire, self._label)
 
     def cancel(self) -> None:
         """OSEK CancelAlarm: disarm; no-op when not armed."""
@@ -55,7 +56,7 @@ class Alarm:
         self.expirations += 1
         if self._cycle_us > 0:
             self._handle = self.sim.schedule(
-                self._cycle_us, self._expire, f"alarm:{self.name}"
+                self._cycle_us, self._expire, self._label
             )
         else:
             self.armed = False

@@ -21,17 +21,6 @@ from repro.sim.kernel import EventHandle, Simulator
 from repro.sim.tracing import Tracer
 
 
-class _Execution:
-    """Bookkeeping for the work item currently on the CPU."""
-
-    def __init__(self, task: Task, item: WorkItem, started: int) -> None:
-        self.task = task
-        self.item = item
-        self.started = started
-        self.remaining = item.duration_us
-        self.handle: Optional[EventHandle] = None
-
-
 class Cpu:
     """Single-core fixed-priority preemptive scheduler."""
 
@@ -45,7 +34,22 @@ class Cpu:
         self.name = name
         self.tracer = tracer
         self.tasks: dict[str, Task] = {}
-        self._current: Optional[_Execution] = None
+        #: task name -> precomputed dispatch label (built once per task;
+        #: _dispatch runs for every work item on every vehicle).
+        self._labels: dict[str, str] = {}
+        #: Registration-order task list; _highest_ready scans it on
+        #: every activation and completion, and a plain list iterates
+        #: faster than dict.values().
+        self._task_list: list[Task] = []
+        # In-flight execution, flattened: a single core runs at most one
+        # work item at a time, so its bookkeeping lives in plain fields
+        # instead of a per-dispatch record (one object + one closure per
+        # work item across the whole fleet showed up in profiles).
+        self._current: Optional[Task] = None
+        self._item: Optional[WorkItem] = None
+        self._started = 0
+        self._remaining = 0
+        self._handle: Optional[EventHandle] = None
         self.busy_time = 0
         self.preemptions = 0
         self.dispatches = 0
@@ -55,6 +59,9 @@ class Cpu:
         if task.name in self.tasks:
             raise OsekError(f"duplicate task {task.name!r} on {self.name}")
         self.tasks[task.name] = task
+        self._labels[task.name] = f"os:{self.name}:{task.name}"
+        self._task_list.append(task)
+        task.cpu = self
         return task
 
     def task(self, name: str) -> Task:
@@ -69,7 +76,9 @@ class Cpu:
 
         Returns False when the task's queue limit dropped the activation.
         """
-        if task.name not in self.tasks:
+        # Identity check instead of a name lookup: add_task stamps the
+        # task, and this runs once per work item across the whole fleet.
+        if task.cpu is not self:
             raise OsekError(f"task {task.name} not registered on {self.name}")
         if not task.enqueue(item):
             return False
@@ -91,7 +100,7 @@ class Cpu:
     @property
     def running_task(self) -> Optional[Task]:
         """The task currently occupying the CPU, if any."""
-        return self._current.task if self._current else None
+        return self._current
 
     def utilization(self) -> float:
         """Fraction of elapsed simulated time the CPU was busy."""
@@ -101,10 +110,10 @@ class Cpu:
 
     def _highest_ready(self) -> Optional[Task]:
         best: Optional[Task] = None
-        for task in self.tasks.values():
-            if not task.has_work():
-                continue
-            if best is None or task.priority > best.priority:
+        # task.queue truthiness is has_work() without the method call;
+        # this scan runs twice per work item across the whole fleet.
+        for task in self._task_list:
+            if task.queue and (best is None or task.priority > best.priority):
                 best = task
         return best
 
@@ -112,27 +121,26 @@ class Cpu:
         contender = self._highest_ready()
         if contender is None:
             return
-        if self._current is None:
-            self._dispatch(contender)
-            return
         current = self._current
-        if (
-            current.task.preemptable
-            and contender.priority > current.task.priority
-        ):
-            self._preempt(current)
+        if current is None:
+            self._dispatch(contender)
+        elif current.preemptable and contender.priority > current.priority:
+            self._preempt()
             self._dispatch(contender)
 
     def _dispatch(self, task: Task) -> None:
         item = task.next_item()
         task.state = TaskState.RUNNING
-        execution = _Execution(task, item, self.sim.now)
-        self._current = execution
+        self._current = task
+        self._item = item
+        self._started = self.sim.now
+        self._remaining = item.duration_us
         self.dispatches += 1
-        execution.handle = self.sim.schedule(
-            execution.remaining,
-            lambda: self._complete(execution),
-            f"os:{self.name}:{task.name}",
+        # _complete reads the flat fields; by the time another dispatch
+        # can overwrite them, this completion has either fired or been
+        # cancelled by _preempt.
+        self._handle = self.sim.schedule(
+            item.duration_us, self._complete, self._labels[task.name]
         )
         if self.tracer:
             self.tracer.emit(
@@ -140,46 +148,40 @@ class Cpu:
                 task=task.name, item=item.label,
             )
 
-    def _preempt(self, execution: _Execution) -> None:
-        if execution.handle is not None:
-            self.sim.cancel(execution.handle)
-        consumed = self.sim.now - execution.started
-        execution.remaining -= consumed
+    def _preempt(self) -> None:
+        task, item = self._current, self._item
+        if self._handle is not None:
+            self.sim.cancel(self._handle)
+            self._handle = None
+        consumed = self.sim.now - self._started
+        remaining = self._remaining - consumed
         self.busy_time += consumed
         self.preemptions += 1
-        execution.task.state = TaskState.READY
+        task.state = TaskState.READY
         # Resume at queue head so the preempted item finishes first.
-        execution.task.queue.appendleft(
-            WorkItem(
-                execution.item.label,
-                execution.remaining,
-                execution.item.action,
-            )
-        )
+        task.queue.appendleft(WorkItem(item.label, remaining, item.action))
         self._current = None
         if self.tracer:
             self.tracer.emit(
                 self.sim.now, "os", "preempt", cpu=self.name,
-                task=execution.task.name, remaining=execution.remaining,
+                task=task.name, remaining=remaining,
             )
 
-    def _complete(self, execution: _Execution) -> None:
-        self.busy_time += execution.remaining
-        task = execution.task
+    def _complete(self) -> None:
+        self.busy_time += self._remaining
+        task, item = self._current, self._item
         self._current = None
         task.note_completion(self.sim.now)
-        if not task.has_work():
-            task.state = TaskState.SUSPENDED
-        else:
-            task.state = TaskState.READY
+        # task.queue truthiness is has_work() without the method call.
+        task.state = TaskState.READY if task.queue else TaskState.SUSPENDED
         if self.tracer:
             self.tracer.emit(
                 self.sim.now, "os", "complete", cpu=self.name,
-                task=task.name, item=execution.item.label,
+                task=task.name, item=item.label,
             )
         # Run the side effects at completion time, then pick the next job.
-        if execution.item.action is not None:
-            execution.item.action()
+        if item.action is not None:
+            item.action()
         self._schedule_decision()
 
 

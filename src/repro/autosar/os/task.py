@@ -25,7 +25,7 @@ class TaskState(enum.Enum):
     WAITING = "waiting"
 
 
-@dataclass
+@dataclass(slots=True)
 class WorkItem:
     """One unit of CPU work queued on a task.
 
@@ -68,6 +68,8 @@ class Task:
         self.preemptable = preemptable
         self.max_activations = max_activations
         self.state = TaskState.SUSPENDED
+        #: Stamped by Cpu.add_task; activate() verifies it by identity.
+        self.cpu: object = None
         self.queue: Deque[WorkItem] = deque()
         self.activation_count = 0
         self.dropped_activations = 0

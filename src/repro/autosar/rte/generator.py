@@ -44,7 +44,7 @@ class BuiltSystem:
     sim: Simulator
     ecus: dict[str, Ecu]
     bus: Optional[CanBus]
-    tracer: Tracer
+    tracer: Optional[Tracer]
     signal_allocation: dict[tuple[str, str, str, str, str], int] = field(
         default_factory=dict
     )
@@ -79,11 +79,15 @@ class SystemBuilder:
         self,
         description: SystemDescription,
         sim: Optional[Simulator] = None,
-        tracer: Optional[Tracer] = None,
+        tracer: "Optional[Tracer]" = ...,  # type: ignore[assignment]
     ) -> None:
         self.description = description
         self.sim = sim or Simulator()
-        self.tracer = tracer or Tracer()
+        # Ellipsis (the omitted-argument default) auto-creates a tracer;
+        # an explicit None builds a system with tracing compiled out —
+        # every ``if self.tracer:`` guard in the OS/RTE/CAN hot paths
+        # then short-circuits at C speed instead of calling emit().
+        self.tracer = Tracer() if tracer is ... else tracer
         self._next_pdu = 0
 
     def build(self) -> BuiltSystem:
@@ -265,6 +269,14 @@ class SystemBuilder:
     def _activation_item(
         instance: ComponentInstance, runnable_name: str
     ) -> WorkItem:
+        """Build the work item for one runnable activation.
+
+        The item is immutable once built (preemption clones rather than
+        mutating), so event installers construct it once and re-enqueue
+        the same object every period — a periodic runnable would
+        otherwise allocate a WorkItem, a label string, and a closure on
+        every tick of every vehicle.
+        """
         runnable = instance.ctype.runnable(runnable_name)
         return WorkItem(
             label=f"{instance.name}.{runnable_name}",
@@ -279,11 +291,10 @@ class SystemBuilder:
         task: Task,
         event: TimingEvent,
     ) -> None:
+        item = self._activation_item(instance, event.runnable)
         alarm = ecu.alarms.create(
             f"{instance.name}.{event.runnable}.timer",
-            lambda: ecu.cpu.activate(
-                task, self._activation_item(instance, event.runnable)
-            ),
+            lambda: ecu.cpu.activate(task, item),
         )
         ecu.at_boot(
             lambda a=alarm, e=event: a.set_relative(e.offset_us, e.period_us)
@@ -296,13 +307,12 @@ class SystemBuilder:
         task: Task,
         event: DataReceivedEvent,
     ) -> None:
+        item = self._activation_item(instance, event.runnable)
         ecu.rte.add_delivery_hook(
             instance.name,
             event.port,
             event.element,
-            lambda: ecu.cpu.activate(
-                task, self._activation_item(instance, event.runnable)
-            ),
+            lambda: ecu.cpu.activate(task, item),
         )
 
     def _install_init_event(
@@ -312,19 +322,20 @@ class SystemBuilder:
         task: Task,
         event: InitEvent,
     ) -> None:
-        ecu.at_boot(
-            lambda: ecu.cpu.activate(
-                task, self._activation_item(instance, event.runnable)
-            )
-        )
+        item = self._activation_item(instance, event.runnable)
+        ecu.at_boot(lambda: ecu.cpu.activate(task, item))
 
 
 def build_system(
     description: SystemDescription,
     sim: Optional[Simulator] = None,
-    tracer: Optional[Tracer] = None,
+    tracer: "Optional[Tracer]" = ...,  # type: ignore[assignment]
 ) -> BuiltSystem:
-    """One-call convenience wrapper around :class:`SystemBuilder`."""
+    """One-call convenience wrapper around :class:`SystemBuilder`.
+
+    Omitting ``tracer`` auto-creates one; passing ``None`` explicitly
+    disables tracing entirely (the fast path for large fleets).
+    """
     return SystemBuilder(description, sim, tracer).build()
 
 

@@ -234,11 +234,21 @@ class CampaignEngine:
         """
         if not self._started:
             self.start()
-        deadline = self._sim.now + timeout_us
-        while not self.done and self._sim.now < deadline:
-            if self._check_orphaned():
-                break
-            if not self._sim.step():
+        sim = self._sim
+        step = sim.step
+        check_orphaned = self._check_orphaned
+        deadline = sim.now + timeout_us
+        # Orphaning is driven by a server restart — itself an event — and
+        # every engine callback re-checks on entry, so the loop only needs
+        # to poll often enough to stop stepping promptly, not per event.
+        countdown = 0
+        while not self.done and sim.now < deadline:
+            if countdown == 0:
+                if check_orphaned():
+                    break
+                countdown = 64
+            countdown -= 1
+            if not step():
                 break
         if not self.done:
             # Mirror the wave-timeout path: abandon the server records of
@@ -537,12 +547,11 @@ class CampaignEngine:
         # the final boundary leaves a full interval for the last report
         # to transit SW-C -> ECM -> server before the verdict.
         ticks = max(1, policy.window_us // policy.sample_interval_us)
-        for k in range(ticks):
-            self._sim.schedule(
-                k * policy.sample_interval_us,
-                lambda g=generation: self._soak_tick(g),
-                "campaign:soak-tick",
-            )
+        tick = lambda g=generation: self._soak_tick(g)  # noqa: E731
+        self._sim.schedule_many(
+            ((k * policy.sample_interval_us, tick) for k in range(ticks)),
+            "campaign:soak-tick",
+        )
         self._arm_timer(policy.window_us, lambda: self._resolve_soak(index))
 
     def _soak_tick(self, generation: int) -> None:
@@ -564,6 +573,12 @@ class CampaignEngine:
         monitored = set(self._soak_monitor.vins)
         for vehicle in self.platform.vehicles:
             if vehicle.vin not in monitored:
+                continue
+            emit = getattr(vehicle, "emit_diagnostics", None)
+            if emit is not None:
+                # Statistical-fidelity members report directly (no
+                # PIRTE to poll); full vehicles report per SW-C below.
+                emit()
                 continue
             for placement in vehicle.spec.all_placements():
                 vehicle.pirte_of(placement.instance_name).emit_diagnostics()

@@ -106,6 +106,8 @@ class EcmPirte(Pirte):
         self.acks_forwarded = 0
         self.external_in = 0
         self.external_out = 0
+        #: Lazy (port name, buffer) cache for :meth:`_drain_remote_acks`.
+        self._ack_buffers: Optional[list] = None
 
     # -- server connectivity ------------------------------------------------
 
@@ -259,11 +261,20 @@ class EcmPirte(Pirte):
         self._trace("forwarded", swc=target_swc, size=len(raw))
 
     def _drain_remote_acks(self) -> None:
-        for route in self.spec.routes:
-            if route.in_port not in self.instance.ports:
-                continue
-            while self.instance.pending(route.in_port, "mgmt"):
-                raw = self.instance.receive(route.in_port, "mgmt")
+        buffers = self._ack_buffers
+        if buffers is None:
+            # Routes and ports are fixed after construction; resolve the
+            # mgmt receive buffers once instead of three dict lookups
+            # per route on every periodic poll.
+            buffers = [
+                (route.in_port, self.instance.port(route.in_port).buffer("mgmt"))
+                for route in self.spec.routes
+                if route.in_port in self.instance.ports
+            ]
+            self._ack_buffers = buffers
+        for in_port, buffer in buffers:
+            while buffer.pending():
+                raw = self.instance.receive(in_port, "mgmt")
                 # Acks and diagnostic reports travel back on type I;
                 # relay both verbatim to the trusted server.
                 self.send_to_server(raw)

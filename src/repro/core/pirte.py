@@ -136,6 +136,13 @@ class Pirte:
         self.messages_routed = 0
         self.dropped_messages = 0
         self.guard_rejections = 0
+        #: Lazy (buffer, spec) caches for :meth:`_drain_swc_inputs` —
+        #: the dispatch runnable polls every period, and resolving
+        #: port -> element buffer through three dict lookups per poll
+        #: dominates idle ticks.  Ports and virtual_ports are fixed
+        #: after construction, so the resolved buffers never go stale.
+        self._mgmt_buffer = None
+        self._in_buffers: Optional[list] = None
 
     # -- conveniences ------------------------------------------------------
 
@@ -431,22 +438,43 @@ class Pirte:
                 self._pending.append((plugin, ENTRY_ON_TIMER, ()))
         return self.step()
 
+    def _resolve_in_buffers(self) -> list:
+        """Resolve the receive buffers the drain loop polls (once)."""
+        instance = self.instance
+        if self.mgmt_in is not None and self.mgmt_in in instance.ports:
+            self._mgmt_buffer = instance.port(self.mgmt_in).buffer(
+                self.mgmt_element
+            )
+        buffers = []
+        for spec in self.virtual_ports.values():
+            if spec.kind in (VirtualPortKind.RELAY_IN, VirtualPortKind.SERVICE_IN):
+                buffers.append(
+                    (spec, instance.port(spec.swc_port).buffer(spec.element))
+                )
+        self._in_buffers = buffers
+        return buffers
+
     def _drain_swc_inputs(self) -> None:
+        in_buffers = self._in_buffers
+        if in_buffers is None:
+            in_buffers = self._resolve_in_buffers()
+        instance = self.instance
         # Management traffic (type I).
-        if self.mgmt_in is not None and self.mgmt_in in self.instance.ports:
-            while self.instance.pending(self.mgmt_in, self.mgmt_element):
-                raw = self.instance.receive(self.mgmt_in, self.mgmt_element)
+        mgmt = self._mgmt_buffer
+        if mgmt is not None:
+            while mgmt.pending():
+                raw = instance.receive(self.mgmt_in, self.mgmt_element)
                 self.handle_management(raw)
         # Relay (type II) and service (type III) inbound virtual ports.
-        for spec in self.virtual_ports.values():
+        for spec, buffer in in_buffers:
             if spec.kind is VirtualPortKind.RELAY_IN:
-                while self.instance.pending(spec.swc_port, spec.element):
-                    payload = self.instance.receive(spec.swc_port, spec.element)
+                while buffer.pending():
+                    payload = instance.receive(spec.swc_port, spec.element)
                     port_id, value = decode_relay(payload)
                     self.deliver_to_port(port_id, value)
-            elif spec.kind is VirtualPortKind.SERVICE_IN:
-                while self.instance.pending(spec.swc_port, spec.element):
-                    raw_value = self.instance.receive(spec.swc_port, spec.element)
+            else:
+                while buffer.pending():
+                    raw_value = instance.receive(spec.swc_port, spec.element)
                     self._deliver_from_service(spec, raw_value)
 
     def _deliver_from_service(self, spec: VirtualPortSpec, raw_value: Any) -> None:

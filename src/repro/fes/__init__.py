@@ -25,6 +25,9 @@ _EXPORTS = {
     "canary_campaign": "repro.fes.fleet",
     "ReceivedValue": "repro.fes.phone",
     "Smartphone": "repro.fes.phone",
+    "StatisticalModel": "repro.fes.statistical",
+    "StatisticalVehicle": "repro.fes.statistical",
+    "calibrate_model": "repro.fes.statistical",
     "LegacyComponent": "repro.fes.vehicle",
     "PluginSwcPlacement": "repro.fes.vehicle",
     "Vehicle": "repro.fes.vehicle",

@@ -18,6 +18,7 @@ from repro.api.builder import ScenarioBuilder
 from repro.api.platform import Platform
 from repro.campaign.spec import CampaignSpec, HealthPolicy, PercentageWaves
 from repro.fes.example_platform import make_example_vehicle_spec
+from repro.fes.statistical import StatisticalModel
 from repro.fes.vehicle import VehicleSpec
 from repro.network.channel import ChannelProfile
 from repro.server.server import DEFAULT_ADDRESS
@@ -70,6 +71,8 @@ def build_fleet(
     cellular_profile: Optional[ChannelProfile] = None,
     trace: bool = False,
     regions: Optional[Sequence[str]] = None,
+    full_vehicles: Optional[int] = None,
+    statistical_model: Optional[StatisticalModel] = None,
 ) -> Fleet:
     """Build ``size`` example vehicles registered on one server.
 
@@ -78,6 +81,15 @@ def build_fleet(
     and ECU counts.  ``regions`` assigns deployment regions round-robin
     (e.g. ``("eu-north", "na-east")``) so FleetSelector queries and
     selector-based campaign waves have attributes to shard on.
+
+    ``full_vehicles`` makes the fleet multi-fidelity: the first that
+    many VINs get the complete ECU/VM simulation while the rest are
+    :class:`~repro.fes.statistical.StatisticalVehicle` members driven
+    by ``statistical_model``.  VINs are zero-padded and campaign waves
+    partition in VIN order, so the full-fidelity prefix IS the canary
+    wave of a :func:`canary_campaign` — the health and soak gates judge
+    real plug-in behaviour while the bulk fleet scales to 100k VINs.
+    ``None`` (the default) keeps every vehicle full-fidelity.
     """
     factory = spec_factory or (
         lambda vin, addr: make_example_vehicle_spec(vin, server_address=addr)
@@ -88,11 +100,19 @@ def build_fleet(
         default_profile=cellular_profile,
         trace=trace,
     )
+    if statistical_model is not None:
+        scenario.statistical_model(statistical_model)
+    # 100k-vehicle campaigns need stable VIN ordering for wave
+    # partitioning; widen the zero padding only when 4 digits overflow
+    # so existing fleets (and their seeded stream paths) are unchanged.
+    digits = max(4, len(str(max(size - 1, 0))))
     scenario.user("fleet-admin", "Fleet Admin")
     for index in range(size):
-        spec = factory(f"VIN-{index:04d}", DEFAULT_ADDRESS)
+        spec = factory(f"VIN-{index:0{digits}d}", DEFAULT_ADDRESS)
         if regions:
             spec.region = regions[index % len(regions)]
+        if full_vehicles is not None and index >= full_vehicles:
+            spec.fidelity = "statistical"
         scenario.add_vehicle_spec(spec)
     return scenario.build(platform_cls=Fleet)
 

@@ -76,6 +76,12 @@ class VehicleSpec:
     #: Deployment region the OEM registers the vehicle under (empty =
     #: undeclared); a FleetSelector/wave-scheduling sharding attribute.
     region: str = ""
+    #: Simulation fidelity: ``"full"`` builds the complete ECU/VM
+    #: substrate, ``"statistical"`` a calibrated response model (see
+    #: :mod:`repro.fes.statistical`).  The server-side description is
+    #: identical either way — fidelity is a simulation choice, not a
+    #: vehicle property.
+    fidelity: str = "full"
 
     def all_placements(self) -> list[PluginSwcPlacement]:
         return [self.ecm] + list(self.plugin_swcs)
@@ -149,9 +155,14 @@ def build_vehicle(
     spec: VehicleSpec,
     fabric: NetworkFabric,
     sim: Optional[Simulator] = None,
-    tracer: Optional[Tracer] = None,
+    tracer: "Optional[Tracer]" = ...,  # type: ignore[assignment]
 ) -> Vehicle:
-    """Assemble and build one vehicle connected to ``fabric``."""
+    """Assemble and build one vehicle connected to ``fabric``.
+
+    ``tracer`` follows :func:`repro.autosar.rte.generator.build_system`
+    semantics: omitted auto-creates one, explicit ``None`` disables
+    tracing (what the scenario builder passes for untraced fleets).
+    """
     if spec.ecm.ecu_name not in spec.ecus:
         raise ConfigurationError(
             f"ECM placed on unknown ECU {spec.ecm.ecu_name!r}"

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, Optional
 
 from repro.errors import ChannelClosedError
 from repro.sim.kernel import EventHandle, Simulator
@@ -70,6 +70,7 @@ class Channel:
         self.name = name
         self.rng = rng
         self.tracer = tracer
+        self._label = f"net:{name}"  # built once; send() runs per message
         self._receiver: Optional[Callable[[Any], None]] = None
         self._closed = False
         self._last_delivery_time = 0
@@ -91,14 +92,12 @@ class Channel:
         """Close the channel; later sends raise, in-flight messages die."""
         self._closed = True
 
-    def send(self, message: Any, size: int = 0) -> None:
-        """Enqueue ``message`` for delivery after the channel's delays.
+    def _admit(self, size: int) -> Optional[int]:
+        """Loss/delay model for one message: arrival time, or None if lost.
 
-        ``size`` (bytes) feeds the serialization-delay model; callers that
-        ship real byte payloads pass ``len(payload)``.
+        Mutates the channel's RNG and FIFO watermark, so callers must
+        invoke it exactly once per message, in send order.
         """
-        if self._closed:
-            raise ChannelClosedError(f"channel {self.name} is closed")
         self.sent += 1
         if self.profile.loss > 0 and self.rng is not None:
             if self.rng.chance(self.profile.loss):
@@ -107,7 +106,7 @@ class Channel:
                     self.tracer.emit(
                         self.sim.now, "net", "drop", channel=self.name
                     )
-                return
+                return None
         delay = self.profile.latency_us + self.profile.serialization_delay(size)
         if self.profile.jitter_us > 0 and self.rng is not None:
             delay = self.rng.jitter(delay, self.profile.jitter_us)
@@ -119,11 +118,54 @@ class Channel:
             self.tracer.emit(
                 self.sim.now, "net", "send", channel=self.name, size=size
             )
+        return arrival
+
+    def send(self, message: Any, size: int = 0) -> None:
+        """Enqueue ``message`` for delivery after the channel's delays.
+
+        ``size`` (bytes) feeds the serialization-delay model; callers that
+        ship real byte payloads pass ``len(payload)``.
+        """
+        if self._closed:
+            raise ChannelClosedError(f"channel {self.name} is closed")
+        arrival = self._admit(size)
+        if arrival is None:
+            return
         key = next(self._in_flight_keys)
         handle = self.sim.schedule_at(
-            arrival, lambda: self._deliver(message, key), f"net:{self.name}"
+            arrival, lambda: self._deliver(message, key), self._label
         )
         self._in_flight[key] = (handle, message)
+
+    def send_many(self, items: Iterable[tuple[Any, int]]) -> None:
+        """Send a batch of ``(message, size)`` pairs in one call.
+
+        Event-for-event identical to looping :meth:`send` — the loss
+        and jitter draws happen per message in send order — but the
+        kernel inserts the deliveries with one
+        :meth:`~repro.sim.kernel.Simulator.schedule_many` batch, which
+        is how the server's pusher floods a reconnecting vehicle's
+        backlog without N sift-ups.
+        """
+        if self._closed:
+            raise ChannelClosedError(f"channel {self.name} is closed")
+        now = self.sim.now
+        batch: list[tuple[int, Callable[[], None]]] = []
+        admitted: list[tuple[int, Any]] = []
+        for message, size in items:
+            arrival = self._admit(size)
+            if arrival is None:
+                continue
+            key = next(self._in_flight_keys)
+            batch.append(
+                (arrival - now, lambda m=message, k=key: self._deliver(m, k))
+            )
+            admitted.append((key, message))
+        if not batch:
+            return
+        handles = self.sim.schedule_many(batch, self._label)
+        for (key, message), handle in zip(admitted, handles):
+            self._in_flight[key] = (handle, message)
 
     @property
     def in_flight(self) -> int:

@@ -16,7 +16,7 @@ bytes; see ``repro.core.packaging``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, Optional
 
 from repro.errors import (
     AddressInUseError,
@@ -47,6 +47,10 @@ class Endpoint:
     def send(self, message: Any, size: int = 0) -> None:
         """Send one message to the peer."""
         self._tx.send(message, size=size)
+
+    def send_many(self, items: "Iterable[tuple[Any, int]]") -> None:
+        """Send a batch of ``(message, size)`` pairs (see Channel.send_many)."""
+        self._tx.send_many(items)
 
     def on_receive(self, callback: Callable[[Any], None]) -> None:
         """Install the receive handler and flush any queued messages."""
@@ -108,6 +112,11 @@ class NetworkFabric:
         self.default_profile = default_profile
         self._listeners: dict[str, _Listener] = {}
         self._connections: list[DuplexLink] = []
+        #: Dials per client name: link (and RNG stream) names carry the
+        #: per-client attempt index, NOT the global connection count —
+        #: so one vehicle's jitter draws never depend on how many other
+        #: vehicles exist or in which order the fleet dialled in.
+        self._dials: dict[str, int] = {}
 
     def listen(
         self,
@@ -157,7 +166,9 @@ class NetworkFabric:
         if listener is None:
             raise ConnectionRefusedError_(f"nothing listening at {address!r}")
         chosen = profile or listener.profile
-        link_name = f"{client_name}->{address}#{len(self._connections)}"
+        dial = self._dials.get(client_name, 0)
+        self._dials[client_name] = dial + 1
+        link_name = f"{client_name}->{address}#{dial}"
         link = DuplexLink(
             self.sim,
             chosen,

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Optional
+from typing import Callable, Deque, Optional, Sequence
 
 from repro.network.sockets import Endpoint, NetworkFabric
 
@@ -70,7 +70,7 @@ class PushVerdict:
         return cls(deliver=True, delay_us=delay_us)
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class _Queued:
     """One message waiting in an offline outbox.
 
@@ -162,6 +162,7 @@ class Pusher:
         outbox = self._outboxes.pop(client_name, None)
         if outbox:
             touched = set()
+            batch: list[tuple[bytes, int]] = []
             while outbox:
                 entry = outbox.popleft()
                 if entry.gone:
@@ -178,7 +179,22 @@ class Pusher:
                 touched.add(
                     _RECLAIM_KEY if entry.seq < 0 else entry.campaign
                 )
-                self._send_now(client_name, raw, entry.campaign)
+                if endpoint.closed:
+                    # The vehicle died between accept and flush: route
+                    # through _send_now's offline fallback, which
+                    # re-queues with the campaign tag intact (and may
+                    # evict a not-yet-flushed entry — the gone check
+                    # above skips it on a later iteration).
+                    self._send_now(client_name, raw, entry.campaign)
+                else:
+                    batch.append((raw, len(raw)))
+            if batch:
+                # The endpoint was established in this very callback, so
+                # the backlog rides one batched send: a fleet-wide
+                # reconnection storm inserts its deliveries with one
+                # heapify per vehicle instead of per message.
+                endpoint.send_many(batch)
+                self.pushed += len(batch)
             for campaign in touched:
                 self._trim_index(campaign)
 
@@ -251,6 +267,49 @@ class Pusher:
                 )
                 return
         self._push_unfiltered(vin, raw, campaign)
+
+    def push_many(
+        self, vin: str, raws: Sequence[bytes], campaign: str = ""
+    ) -> None:
+        """Push a batch of messages to one vehicle in one call.
+
+        Message-for-message equivalent to looping :meth:`push` (the
+        filter still rules on each payload, offline messages still
+        queue individually), but a connected vehicle receives the whole
+        batch through one :meth:`Endpoint.send_many`, so a multi-plugin
+        APP deployment costs one kernel batch insert instead of one
+        sift-up per package.
+        """
+        ready: list[bytes] = []
+        if self._push_filter is not None:
+            for raw in raws:
+                verdict = self._push_filter(vin, raw)
+                if not verdict.deliver:
+                    self.filtered_messages += 1
+                    continue
+                if verdict.delay_us > 0:
+                    self._sim.schedule(
+                        verdict.delay_us,
+                        lambda r=raw: self._push_unfiltered(vin, r, campaign),
+                        f"pusher:delayed:{vin}",
+                    )
+                    continue
+                ready.append(raw)
+        else:
+            ready.extend(raws)
+        if not ready:
+            return
+        endpoint = self._connections.get(vin)
+        if endpoint is None or endpoint.closed:
+            if endpoint is not None:
+                # The connection died under us: same bookkeeping as
+                # _send_now's offline fallback.
+                self._connections.pop(vin, None)
+            for raw in ready:
+                self._queue_offline(vin, raw, campaign)
+            return
+        endpoint.send_many([(raw, len(raw)) for raw in ready])
+        self.pushed += len(ready)
 
     def _push_unfiltered(self, vin: str, raw: bytes, campaign: str) -> None:
         if self.is_connected(vin):

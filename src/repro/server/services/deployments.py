@@ -159,6 +159,7 @@ class DeploymentService:
         assert report.sw_conf is not None
         packages = generate_packages(app, report.sw_conf, vehicle)
         installed = InstalledApp(app.name, app.version, InstallStatus.PENDING)
+        raws = []
         for package in packages:
             raw = package.message.encode()
             installed.plugins.append(
@@ -171,7 +172,8 @@ class DeploymentService:
                     footprint=len(package.message.binary),
                 )
             )
-            self.pusher.push(vin, raw, campaign=campaign)
+            raws.append(raw)
+        self.pusher.push_many(vin, raws, campaign=campaign)
         vehicle.conf.installed[app.name] = installed
         vehicle.update_failures.pop(app.name, None)
         self.deploys += 1
@@ -208,16 +210,17 @@ class DeploymentService:
             # racing the real acks.
             return Response.success(reasons=["removal already in progress"])
         installed.status = InstallStatus.REMOVING
-        pushed = 0
+        raws = []
         for record in installed.plugins:
             record.acked = False
             record.nacked = False
-            raw = msg.UninstallMessage(
-                record.plugin_name, record.ecu_name, record.swc_name
-            ).encode()
-            self.pusher.push(vin, raw, campaign=campaign)
-            pushed += 1
-        return Response.success(pushed_messages=pushed)
+            raws.append(
+                msg.UninstallMessage(
+                    record.plugin_name, record.ecu_name, record.swc_name
+                ).encode()
+            )
+        self.pusher.push_many(vin, raws, campaign=campaign)
+        return Response.success(pushed_messages=len(raws))
 
     # -- batch / campaign operations ------------------------------------------
 

@@ -39,7 +39,7 @@ from typing import Any, Callable, Deque, Iterable, Optional
 DEFAULT_CATEGORY_CAPACITY = 512
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TelemetryEvent:
     """One structured telemetry record.
 
