@@ -189,7 +189,9 @@ def test_statistical_scale_sweep():
                 "full_vehicles": full,
                 "waves": len(report.waves),
                 "sim_time_us": sim_time,
-                "build_s": round(build_wall, 3),
+                # Build wall is reported separately so the sweep
+                # distinguishes fleet-construction cost from run cost.
+                "fleet_build_wall_s": round(build_wall, 3),
                 "wall_s": round(wall, 3),
                 "updated": report.updated,
             }

@@ -1,0 +1,105 @@
+"""A staged OTA campaign driven entirely over HTTP.
+
+The other examples call the control plane in process; this one talks to
+it the way a real portal would — through the network gateway:
+
+1. build a 6-vehicle fleet and upload the remote-control APP (local
+   setup: the simulated world has to exist before it can be served);
+2. start a :class:`~repro.gateway.FleetGateway` — a threaded stdlib
+   HTTP server plus a driver thread that advances simulated time, so
+   the fleet "runs" while we talk to it from outside;
+3. from a :class:`~repro.gateway.FleetClient`, query the fleet, stage
+   a canary campaign with a telemetry soak gate, and watch the
+   campaign's own event stream live over the long-poll endpoint;
+4. confirm promotion wave by wave until the report lands, then read
+   the gateway's metrics — all without a single in-process FleetAPI
+   call after the gateway starts.
+
+Every HTTP body is a ``Response`` envelope in JSON; errors carry the
+same :class:`ErrorCode` values ``Response.unwrap()`` raises in
+process, so remote client code reads exactly like local client code.
+"""
+
+import dataclasses
+
+from repro import SoakPolicy, build_fleet
+from repro.fes import canary_campaign
+from repro.fes.example_platform import PHONE_ADDRESS, make_remote_control_app
+from repro.gateway import FleetClient, FleetGateway
+
+APP = "remote-control"
+TERMINAL = {"succeeded", "rolled_back", "halted", "timed_out"}
+
+
+def main() -> None:
+    print("== setup: 6 vehicles + the remote-control APP (in process) ==")
+    fleet = build_fleet(6, seed=11, regions=("eu-north", "na-east"))
+    fleet.server.api.store.upload(
+        make_remote_control_app(PHONE_ADDRESS)
+    ).unwrap()
+
+    print("== serve: HTTP gateway + simulated-time driver thread ==")
+    gateway = FleetGateway(fleet).start(drive=True)
+    try:
+        client = FleetClient(gateway.base_url)
+        health = client.health()
+        print(
+            f"   {gateway.base_url} -> {health['vehicles']} vehicles, "
+            f"{health['apps']} app(s)"
+        )
+
+        print("== query the fleet over the wire ==")
+        for row in client.vehicles():
+            print(f"   {row['vin']}  {row['model']:<12} {row['region']}")
+
+        print("== stage a canary campaign with a soak gate, over HTTP ==")
+        spec = dataclasses.replace(
+            canary_campaign(APP, fractions=(0.34, 1.0), retry_budget=1),
+            soak=SoakPolicy(max_trap_delta=2, min_samples=2),
+        )
+        # Register the event stream first so nothing is missed.
+        poll = client.poll_events(categories=("campaign",), timeout_s=0.0)
+        record = client.stage_campaign(spec)
+        campaign_id = record["campaign_id"]
+        print(f"   staged {campaign_id} ({record['status']})")
+
+        print("== watch the campaign's event stream live ==")
+        after = poll["next_after"]
+        status = record["status"]
+        while status not in TERMINAL:
+            batch = client.poll_events(after=after, timeout_s=1.0)
+            for event in batch["events"]:
+                wave = event["data"].get("wave")
+                detail = event["data"].get("detail", "")
+                vin = event["vin"] or "-"
+                print(
+                    f"   seq={event['seq']:<3} wave={wave} "
+                    f"{event['name']:<18} {vin:<10} {detail}"
+                )
+            after = batch["next_after"]
+            status = client.campaign(campaign_id)["status"]
+
+        print("== final record, fetched over HTTP ==")
+        record = client.campaign(campaign_id)
+        report = record["report"]
+        updated = sum(
+            1 for d in report["dispositions"].values() if d == "updated"
+        )
+        print(f"   status={record['status']} updated={updated}/6")
+        assert record["status"] == "succeeded" and updated == 6
+
+        metrics = client.metrics()
+        requests = metrics["metrics"]["counters"]["gateway.requests"]
+        stream = metrics["stream"]
+        print(
+            f"   gateway served {requests} requests; stream seq="
+            f"{stream['seq']}, unaccounted={stream['unaccounted']}"
+        )
+        assert stream["unaccounted"] == 0
+    finally:
+        gateway.stop()
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

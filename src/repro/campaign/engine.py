@@ -495,7 +495,7 @@ class CampaignEngine:
             vehicle = vehicles.get(vin)
             if vehicle is None:
                 continue
-            traps = activations = memory = 0
+            traps = activations = memory = fuel = 0
             for placement in vehicle.spec.all_placements():
                 try:
                     pirte = vehicle.pirte_of(placement.instance_name)
@@ -508,9 +508,10 @@ class CampaignEngine:
                 for plugin in pirte.plugins.values():
                     traps += plugin.vm.traps
                     activations += plugin.vm.activations
+                    fuel += plugin.vm.total_fuel_used
             baseline[vin] = VehicleBaseline(
                 vin=vin, traps=traps, activations=activations,
-                memory_used_blocks=memory,
+                memory_used_blocks=memory, fuel_used=fuel,
             )
         return baseline
 
@@ -525,6 +526,7 @@ class CampaignEngine:
             event.data.get("traps", 0),
             event.data.get("activations", 0),
             event.data.get("memory_used_blocks", 0),
+            event.data.get("fuel_used", 0),
         )
 
     def _begin_soak(self, index: int) -> None:

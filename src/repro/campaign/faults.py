@@ -86,6 +86,14 @@ class FaultPlan:
     soak_drain_rate: float = 0.0
     soak_drain_blocks: int = 8
     soak_drain_after_us: int = 200 * MS
+    #: Fuel anomalies: the freshly installed plug-in burns
+    #: ``soak_fuel_amount`` extra VM fuel ``soak_fuel_after_us`` after
+    #: its install resolves — a plug-in whose compute cost regressed
+    #: without trapping, caught only by the policy's fuel thresholds.
+    soak_fuel_vins: FrozenSet[str] = field(default_factory=frozenset)
+    soak_fuel_rate: float = 0.0
+    soak_fuel_amount: int = 100_000
+    soak_fuel_after_us: int = 200 * MS
 
     def __post_init__(self) -> None:
         _rate("install_failure_rate", self.install_failure_rate)
@@ -94,11 +102,18 @@ class FaultPlan:
         _rate("offline_rate", self.offline_rate)
         _rate("soak_trap_rate", self.soak_trap_rate)
         _rate("soak_drain_rate", self.soak_drain_rate)
+        _rate("soak_fuel_rate", self.soak_fuel_rate)
         if self.soak_trap_count < 0:
             raise ConfigurationError("soak_trap_count must be >= 0")
         if self.soak_drain_blocks < 0:
             raise ConfigurationError("soak_drain_blocks must be >= 0")
-        if self.soak_trap_after_us < 0 or self.soak_drain_after_us < 0:
+        if self.soak_fuel_amount < 0:
+            raise ConfigurationError("soak_fuel_amount must be >= 0")
+        if (
+            self.soak_trap_after_us < 0
+            or self.soak_drain_after_us < 0
+            or self.soak_fuel_after_us < 0
+        ):
             raise ConfigurationError(
                 "soak anomaly delays must be >= 0"
             )
@@ -124,6 +139,9 @@ class FaultPlan:
         object.__setattr__(
             self, "soak_drain_vins", frozenset(self.soak_drain_vins)
         )
+        object.__setattr__(
+            self, "soak_fuel_vins", frozenset(self.soak_fuel_vins)
+        )
 
     @property
     def active(self) -> bool:
@@ -138,6 +156,8 @@ class FaultPlan:
             or self.soak_trap_rate
             or self.soak_drain_vins
             or self.soak_drain_rate
+            or self.soak_fuel_vins
+            or self.soak_fuel_rate
         )
 
     def to_dict(self) -> dict:
@@ -165,6 +185,10 @@ class FaultPlan:
             "soak_drain_rate": self.soak_drain_rate,
             "soak_drain_blocks": self.soak_drain_blocks,
             "soak_drain_after_us": self.soak_drain_after_us,
+            "soak_fuel_vins": sorted(self.soak_fuel_vins),
+            "soak_fuel_rate": self.soak_fuel_rate,
+            "soak_fuel_amount": self.soak_fuel_amount,
+            "soak_fuel_after_us": self.soak_fuel_after_us,
         }
 
     @classmethod
@@ -174,6 +198,7 @@ class FaultPlan:
         data["flaky_vins"] = frozenset(data.get("flaky_vins", ()))
         data["soak_trap_vins"] = frozenset(data.get("soak_trap_vins", ()))
         data["soak_drain_vins"] = frozenset(data.get("soak_drain_vins", ()))
+        data["soak_fuel_vins"] = frozenset(data.get("soak_fuel_vins", ()))
         return cls(**data)
 
 
@@ -189,6 +214,7 @@ class FaultStats:
     reconnects: int = 0
     soak_traps_injected: int = 0
     soak_blocks_drained: int = 0
+    soak_fuel_burned: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -200,6 +226,7 @@ class FaultStats:
             "reconnects": self.reconnects,
             "soak_traps_injected": self.soak_traps_injected,
             "soak_blocks_drained": self.soak_blocks_drained,
+            "soak_fuel_burned": self.soak_fuel_burned,
         }
 
 
@@ -303,6 +330,8 @@ class FaultInjector:
             or self.plan.soak_trap_rate
             or self.plan.soak_drain_vins
             or self.plan.soak_drain_rate
+            or self.plan.soak_fuel_vins
+            or self.plan.soak_fuel_rate
         )
 
     def _on_server_event(self, event) -> None:
@@ -326,6 +355,10 @@ class FaultInjector:
             plan.soak_drain_rate > 0
             and self._soak_stream(vin).chance(plan.soak_drain_rate)
         )
+        fuel = vin in plan.soak_fuel_vins or (
+            plan.soak_fuel_rate > 0
+            and self._soak_stream(vin).chance(plan.soak_fuel_rate)
+        )
         if trap:
             self.platform.sim.schedule(
                 plan.soak_trap_after_us,
@@ -337,6 +370,12 @@ class FaultInjector:
                 plan.soak_drain_after_us,
                 lambda: self._inject_drain(vin, event.app_name),
                 f"faults:soak-drain:{vin}",
+            )
+        if fuel:
+            self.platform.sim.schedule(
+                plan.soak_fuel_after_us,
+                lambda: self._inject_fuel_burn(vin, event.app_name),
+                f"faults:soak-fuel:{vin}",
             )
 
     def _installed_plugins(self, vin: str, app_name: str) -> list:
@@ -375,6 +414,17 @@ class FaultInjector:
                 plugin.failed_activations += 1
                 pirte.trapped_activations += 1
                 self.stats.soak_traps_injected += 1
+
+    def _inject_fuel_burn(self, vin: str, app_name: str) -> None:
+        """Burn extra VM fuel on the freshly installed plug-ins.
+
+        Moves only the fuel counter — no traps, no failed activations —
+        so the anomaly is invisible to trap/memory thresholds and the
+        next DiagMessage's ``fuel_used`` is the sole evidence.
+        """
+        for _pirte, plugin in self._installed_plugins(vin, app_name):
+            plugin.vm.total_fuel_used += self.plan.soak_fuel_amount
+            self.stats.soak_fuel_burned += self.plan.soak_fuel_amount
 
     def _inject_drain(self, vin: str, app_name: str) -> None:
         """Leak blocks from the hosting SW-C's memory pool."""

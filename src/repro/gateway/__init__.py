@@ -1,0 +1,13 @@
+"""Client side of the fleet gateway.
+
+:class:`FleetClient` is the typed, urllib-based HTTP client of the
+:class:`~repro.server.gateway.FleetGateway` REST surface.  The server
+side lives in :mod:`repro.server.gateway`; this package is what an
+external operator process would import.
+"""
+
+from repro.gateway.client import FleetClient
+from repro.server.gateway import FleetGateway
+from repro.server.services.envelope import ApiError, ErrorCode
+
+__all__ = ["ApiError", "ErrorCode", "FleetClient", "FleetGateway"]

@@ -50,6 +50,22 @@ class Database:
         self.vehicles[vehicle.vin] = vehicle
         return vehicle
 
+    def add_vehicles(self, vehicles: list[Vehicle]) -> list[Vehicle]:
+        """Bulk OEM upload: all-or-nothing duplicate validation.
+
+        Validates the whole batch (against the registry and within the
+        batch itself) before inserting anything, so a duplicate VIN
+        leaves the registry untouched instead of half-registered.
+        """
+        seen: set[str] = set()
+        for vehicle in vehicles:
+            if vehicle.vin in self.vehicles or vehicle.vin in seen:
+                raise DuplicateEntityError(f"vehicle {vehicle.vin!r} exists")
+            seen.add(vehicle.vin)
+        for vehicle in vehicles:
+            self.vehicles[vehicle.vin] = vehicle
+        return vehicles
+
     def vehicle(self, vin: str) -> Vehicle:
         try:
             return self.vehicles[vin]
@@ -67,6 +83,23 @@ class Database:
         vehicle.owner = user_id
         if vin not in user.vehicles:
             user.vehicles.append(vin)
+
+    def bind_vehicles(self, user_id: str, vins: list[str]) -> None:
+        """Bulk user binding: one user lookup, all-or-nothing validation."""
+        user = self.user(user_id)
+        batch = [self.vehicle(vin) for vin in vins]
+        for vehicle in batch:
+            if vehicle.owner is not None and vehicle.owner != user_id:
+                raise DuplicateEntityError(
+                    f"vehicle {vehicle.vin} already bound to user "
+                    f"{vehicle.owner}"
+                )
+        owned = set(user.vehicles)
+        for vehicle in batch:
+            vehicle.owner = user_id
+            if vehicle.vin not in owned:
+                user.vehicles.append(vehicle.vin)
+                owned.add(vehicle.vin)
 
     def vehicles_of(self, user_id: str) -> list[Vehicle]:
         return [self.vehicle(vin) for vin in self.user(user_id).vehicles]

@@ -1,0 +1,40 @@
+"""Network gateway: the fleet control plane as a real HTTP service.
+
+The paper's trusted-server/vehicle split assumes operators drive fleet
+updates from *outside* the server.  This package lifts the in-process
+:class:`~repro.server.services.fleetapi.FleetAPI` façade onto the wire:
+
+* :mod:`~repro.server.gateway.wire` — the wire protocol.  HTTP bodies
+  are exactly ``Response.to_dict()`` JSON; HTTP status codes are a
+  fixed function of the envelope's :class:`ErrorCode`.
+* :mod:`~repro.server.gateway.pump` — the command queue that keeps the
+  single-threaded discrete-event simulator deterministic: HTTP worker
+  threads enqueue, a sim-side pump (scheduled via ``schedule_many``)
+  drains between events.
+* :mod:`~repro.server.gateway.stream` — the live event stream: a
+  subscriber tap on the control plane's
+  :class:`~repro.telemetry.TelemetryBus` fans events out to per-client
+  bounded buffers with monotonic sequence numbers and exact
+  slow-consumer drop accounting.
+* :mod:`~repro.server.gateway.routes` — the REST route table mounted
+  on the FleetAPI services.
+* :mod:`~repro.server.gateway.http` — the stdlib threaded HTTP/1.1
+  server and the :class:`FleetGateway` façade gluing it all together.
+
+The typed client lives in :mod:`repro.gateway.client`.
+"""
+
+from repro.server.gateway.http import FleetGateway
+from repro.server.gateway.pump import CommandPump, GatewayTimeout
+from repro.server.gateway.stream import StreamBroker, StreamClient
+from repro.server.gateway.wire import HTTP_STATUS, http_status
+
+__all__ = [
+    "CommandPump",
+    "FleetGateway",
+    "GatewayTimeout",
+    "HTTP_STATUS",
+    "StreamBroker",
+    "StreamClient",
+    "http_status",
+]

@@ -18,7 +18,7 @@ envelopes back to ``OperationResult``/exceptions for old call sites.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, is_dataclass
 from typing import Any, Optional
 
 from repro.errors import DuplicateEntityError, ServerError, UnknownEntityError
@@ -52,6 +52,40 @@ _RAISING_CODES = {
     ErrorCode.UNAUTHORIZED: UnknownEntityError,
     ErrorCode.DUPLICATE_ENTITY: DuplicateEntityError,
 }
+
+
+def wire_value(value: Any) -> Any:
+    """Recursively reduce a payload to JSON-serializable primitives.
+
+    This is the single definition of "what an envelope payload looks
+    like on the wire": entities that know how to serialize themselves
+    (``to_dict``) use that form, named tuples and dataclasses fall back
+    to field dicts, enums to their values, and sets to sorted lists so
+    the output is deterministic.  Anything else is a programming error
+    — raising beats silently shipping ``repr()`` strings to clients.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {str(key): wire_value(item) for key, item in value.items()}
+    to_dict = getattr(value, "to_dict", None)
+    if callable(to_dict):
+        return to_dict()
+    if isinstance(value, tuple) and hasattr(value, "_asdict"):
+        return {key: wire_value(item) for key, item in value._asdict().items()}
+    if isinstance(value, (list, tuple)):
+        return [wire_value(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(wire_value(item) for item in value)
+    if is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: wire_value(getattr(value, f.name)) for f in fields(value)
+        }
+    raise TypeError(
+        f"payload of type {type(value).__name__} is not wire-serializable"
+    )
 
 
 class ApiError(ServerError):
@@ -115,6 +149,36 @@ class Response:
             raise ApiError(self.code, self.reasons)
         return self.value
 
+    def to_dict(self) -> dict:
+        """JSON-ready wire form; the gateway's HTTP bodies are exactly this.
+
+        ``value`` is reduced through :func:`wire_value`, so the wire form
+        of an entity payload is its own ``to_dict()`` output.
+        """
+        return {
+            "ok": self.ok,
+            "code": self.code.value,
+            "reasons": list(self.reasons),
+            "value": wire_value(self.value),
+            "pushed_messages": self.pushed_messages,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Response":
+        """Rebuild an envelope from its wire form.
+
+        ``value`` stays in plain JSON shape (dicts/lists/primitives) —
+        clients branch on ``code`` and read payload fields by key rather
+        than getting entity classes rehydrated.
+        """
+        return cls(
+            ok=bool(data["ok"]),
+            code=ErrorCode(data["code"]),
+            reasons=list(data.get("reasons") or []),
+            value=data.get("value"),
+            pushed_messages=int(data.get("pushed_messages") or 0),
+        )
+
     def raise_legacy(self) -> "Response":
         """Re-raise failures the pre-control-plane API raised as exceptions.
 
@@ -128,4 +192,4 @@ class Response:
         return self
 
 
-__all__ = ["ApiError", "ErrorCode", "Response"]
+__all__ = ["ApiError", "ErrorCode", "Response", "wire_value"]

@@ -25,7 +25,7 @@ from repro.server.services.appstore import AppStore
 from repro.server.services.campaigns import CampaignService
 from repro.server.services.deployments import DeploymentService
 from repro.server.services.vehicles import VehicleService
-from repro.telemetry import TelemetryBus
+from repro.telemetry import MetricsRegistry, TelemetryBus
 
 
 class FleetAPI:
@@ -41,6 +41,11 @@ class FleetAPI:
         #: state: a simulated server restart rebuilds the API and starts
         #: a fresh (empty) bus, exactly like a real in-memory pipeline.
         self.telemetry = TelemetryBus()
+        #: Control-plane metrics (counters/gauges/histograms).  The
+        #: network gateway registers its request/stream/queue metrics
+        #: here so ``GET /v1/metrics`` and CI snapshot artifacts read
+        #: the same registry.
+        self.metrics = MetricsRegistry()
         self.vehicles = VehicleService(db, pusher)
         self.store = AppStore(db)
         self.deployments = DeploymentService(

@@ -79,6 +79,25 @@ class VehicleService:
             return Response.failure(ErrorCode.DUPLICATE_ENTITY, str(exc))
         return Response.success(vehicle)
 
+    def register_many(self, rows) -> Response:
+        """Bulk OEM upload; one registry pass instead of N envelopes.
+
+        ``rows`` is an iterable of ``(vin, model, hw, system_sw, region)``
+        tuples.  All-or-nothing: a duplicate VIN anywhere in the batch
+        registers nothing.  The payload is the number registered —
+        fleet builders registering 100k vehicles should not pay for
+        100k Response allocations and per-call duplicate probes.
+        """
+        vehicles = [
+            Vehicle(vin, model, VehicleConf(hw, system_sw), region=region)
+            for vin, model, hw, system_sw, region in rows
+        ]
+        try:
+            self.db.add_vehicles(vehicles)
+        except DuplicateEntityError as exc:
+            return Response.failure(ErrorCode.DUPLICATE_ENTITY, str(exc))
+        return Response.success(len(vehicles))
+
     def bind(self, user_id: str, vin: str) -> Response:
         """Associate a vehicle with a user account."""
         try:
@@ -88,6 +107,16 @@ class VehicleService:
         except DuplicateEntityError as exc:
             return Response.failure(ErrorCode.DUPLICATE_ENTITY, str(exc))
         return Response.success()
+
+    def bind_many(self, user_id: str, vins: list[str]) -> Response:
+        """Bulk user binding, all-or-nothing; payload is the count."""
+        try:
+            self.db.bind_vehicles(user_id, vins)
+        except UnknownEntityError as exc:
+            return Response.failure(ErrorCode.UNKNOWN_ENTITY, str(exc))
+        except DuplicateEntityError as exc:
+            return Response.failure(ErrorCode.DUPLICATE_ENTITY, str(exc))
+        return Response.success(len(vins))
 
     # -- lookups --------------------------------------------------------------
 

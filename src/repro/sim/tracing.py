@@ -155,7 +155,7 @@ class MetricSet:
     for existing call sites.  New code should use the registry directly.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, registry=None) -> None:
         warnings.warn(
             "MetricSet is deprecated; use "
             "repro.telemetry.MetricsRegistry instead",
@@ -166,7 +166,16 @@ class MetricSet:
         # so a module-level import here would be circular.
         from repro.telemetry.metrics import MetricsRegistry
 
-        self._registry = MetricsRegistry()
+        # Adopting an existing registry lets legacy call sites record
+        # into the control plane's shared registry (the one
+        # ``GET /v1/metrics`` and CI snapshot artifacts serve) instead
+        # of a private sink that nothing ever reads.
+        self._registry = registry if registry is not None else MetricsRegistry()
+
+    @property
+    def registry(self):
+        """The backing :class:`~repro.telemetry.MetricsRegistry`."""
+        return self._registry
 
     def incr(self, name: str, amount: int = 1) -> None:
         """Increment a counter."""

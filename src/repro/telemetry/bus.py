@@ -172,9 +172,15 @@ class TelemetryBus:
         return callback
 
     def unsubscribe(self, callback: Callable[[TelemetryEvent], None]) -> None:
-        """Detach a previously subscribed tap (no-op when absent)."""
+        """Detach a previously subscribed tap (no-op when absent).
+
+        Matches by equality, not identity: ``vehicle.method`` builds a
+        fresh bound-method object on every attribute access, so
+        subscribing and unsubscribing ``self.callback`` would never
+        match under ``is``.
+        """
         self._taps = [
-            (cb, wanted) for cb, wanted in self._taps if cb is not callback
+            (cb, wanted) for cb, wanted in self._taps if cb != callback
         ]
 
     # -- queries ---------------------------------------------------------------

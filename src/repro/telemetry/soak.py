@@ -33,6 +33,7 @@ class VehicleBaseline:
     traps: int = 0
     activations: int = 0
     memory_used_blocks: int = 0
+    fuel_used: int = 0
 
 
 class SoakMonitor:
@@ -47,7 +48,7 @@ class SoakMonitor:
     def __init__(self, vins: Iterable[str]) -> None:
         self.vins = sorted(vins)
         self._wanted = set(self.vins)
-        self._latest: dict[str, dict[str, tuple[int, int, int]]] = {
+        self._latest: dict[str, dict[str, tuple[int, int, int, int]]] = {
             vin: {} for vin in self.vins
         }
         self._samples: dict[str, int] = {vin: 0 for vin in self.vins}
@@ -59,11 +60,14 @@ class SoakMonitor:
         traps: int,
         activations: int,
         memory_used_blocks: int,
+        fuel_used: int = 0,
     ) -> bool:
         """Record one diag report; False when ``vin`` is not monitored."""
         if vin not in self._wanted:
             return False
-        self._latest[vin][swc] = (traps, activations, memory_used_blocks)
+        self._latest[vin][swc] = (
+            traps, activations, memory_used_blocks, fuel_used
+        )
         self._samples[vin] += 1
         return True
 
@@ -75,16 +79,17 @@ class SoakMonitor:
     def total_samples(self) -> int:
         return sum(self._samples.values())
 
-    def totals(self, vin: str) -> tuple[int, int, int]:
-        """Latest (traps, activations, memory_used_blocks) across SW-Cs."""
-        traps = activations = memory = 0
-        for swc_traps, swc_activations, swc_memory in self._latest.get(
-            vin, {}
-        ).values():
+    def totals(self, vin: str) -> tuple[int, int, int, int]:
+        """Latest (traps, activations, memory, fuel) summed across SW-Cs."""
+        traps = activations = memory = fuel = 0
+        for swc_traps, swc_activations, swc_memory, swc_fuel in (
+            self._latest.get(vin, {}).values()
+        ):
             traps += swc_traps
             activations += swc_activations
             memory += swc_memory
-        return traps, activations, memory
+            fuel += swc_fuel
+        return traps, activations, memory, fuel
 
 
 @dataclass(frozen=True)
@@ -124,6 +129,18 @@ class SoakPolicy:
     sample_interval_us: int = 500 * MS
     max_trap_delta: int = 0
     max_memory_growth_blocks: Optional[int] = None
+    #: Per-vehicle VM fuel growth allowed over the window relative to
+    #: the pre-update baseline (None disables).  Fuel is the VM's
+    #: execution-cost counter, so this bounds *total* compute burned by
+    #: the vehicle's plug-ins during the soak — a runaway plug-in shows
+    #: up here even when it never traps.
+    max_fuel_delta: Optional[int] = None
+    #: Average fuel allowed *per activation* over the window (None
+    #: disables).  Normalizing by activations catches a plug-in whose
+    #: per-run cost regressed even when the wave's activation counts
+    #: differ between vehicles; only evaluated when the window saw
+    #: activation growth.
+    max_fuel_rate: Optional[float] = None
     max_anomalous_fraction: float = 0.0
     min_samples: int = 1
 
@@ -148,6 +165,14 @@ class SoakPolicy:
             raise ConfigurationError(
                 f"max_memory_growth_blocks must be >= 0 "
                 f"(got {self.max_memory_growth_blocks})"
+            )
+        if self.max_fuel_delta is not None and self.max_fuel_delta < 0:
+            raise ConfigurationError(
+                f"max_fuel_delta must be >= 0 (got {self.max_fuel_delta})"
+            )
+        if self.max_fuel_rate is not None and self.max_fuel_rate < 0:
+            raise ConfigurationError(
+                f"max_fuel_rate must be >= 0 (got {self.max_fuel_rate})"
             )
         if not 0.0 <= self.max_anomalous_fraction <= 1.0:
             raise ConfigurationError(
@@ -188,7 +213,7 @@ class SoakPolicy:
                 )
                 continue
             reference = baseline.get(vin) or VehicleBaseline(vin)
-            traps, _activations, memory = monitor.totals(vin)
+            traps, activations, memory, fuel = monitor.totals(vin)
             trap_delta = traps - reference.traps
             if trap_delta > self.max_trap_delta:
                 anomalies.append(
@@ -208,6 +233,31 @@ class SoakPolicy:
                             f"{self.max_memory_growth_blocks}",
                         )
                     )
+                    continue
+            fuel_delta = fuel - reference.fuel_used
+            if (
+                self.max_fuel_delta is not None
+                and fuel_delta > self.max_fuel_delta
+            ):
+                anomalies.append(
+                    (
+                        vin,
+                        f"fuel delta {fuel_delta} > {self.max_fuel_delta}",
+                    )
+                )
+                continue
+            if self.max_fuel_rate is not None:
+                activation_delta = activations - reference.activations
+                if activation_delta > 0:
+                    rate = fuel_delta / activation_delta
+                    if rate > self.max_fuel_rate:
+                        anomalies.append(
+                            (
+                                vin,
+                                f"fuel rate {rate:.1f}/activation > "
+                                f"{self.max_fuel_rate}",
+                            )
+                        )
         allowed = int(self.max_anomalous_fraction * checked)
         breaches: tuple[str, ...] = ()
         if len(anomalies) > allowed:
@@ -229,17 +279,23 @@ class SoakPolicy:
             "sample_interval_us": self.sample_interval_us,
             "max_trap_delta": self.max_trap_delta,
             "max_memory_growth_blocks": self.max_memory_growth_blocks,
+            "max_fuel_delta": self.max_fuel_delta,
+            "max_fuel_rate": self.max_fuel_rate,
             "max_anomalous_fraction": self.max_anomalous_fraction,
             "min_samples": self.min_samples,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "SoakPolicy":
+        # Fuel keys are read with .get so records persisted before the
+        # fuel thresholds existed still load.
         return cls(
             window_us=data["window_us"],
             sample_interval_us=data["sample_interval_us"],
             max_trap_delta=data["max_trap_delta"],
             max_memory_growth_blocks=data.get("max_memory_growth_blocks"),
+            max_fuel_delta=data.get("max_fuel_delta"),
+            max_fuel_rate=data.get("max_fuel_rate"),
             max_anomalous_fraction=data["max_anomalous_fraction"],
             min_samples=data["min_samples"],
         )

@@ -168,6 +168,55 @@ class TestSoakRollback:
         assert leaked.status == "rolled_back"
         assert "memory growth" in leaked.waves[0].soak_anomalies["VIN-0001"]
 
+    def test_fuel_burn_during_soak_is_rolled_back(self):
+        # A generous fuel allowance passes clean runs: normal soak
+        # activations burn orders of magnitude less than 10^9 units.
+        spec = soaked_spec(max_fuel_delta=10**9)
+        _, clean = run_campaign(spec)
+        assert clean.status == "succeeded"
+
+        # A plug-in that burns runaway compute — without ever trapping
+        # or leaking memory — is caught by the fuel threshold alone.
+        faults = FaultPlan(
+            seed=5,
+            soak_fuel_vins={"VIN-0001"},
+            soak_fuel_amount=2 * 10**9,
+        )
+        _, burned = run_campaign(spec, faults=faults)
+        assert burned.status == "rolled_back"
+        wave = burned.waves[0]
+        assert wave.updated == 3 and wave.breaches == []
+        assert "fuel delta" in wave.soak_anomalies["VIN-0001"]
+        assert burned.dispositions["VIN-0001"] is Disposition.ROLLED_BACK
+        assert burned.waves[1].started_us is None
+
+    def test_fuel_burn_invisible_without_fuel_thresholds(self):
+        # The control case: same burn, no fuel threshold — the trap and
+        # memory gates don't see fuel, so the campaign promotes.
+        faults = FaultPlan(
+            seed=5,
+            soak_fuel_vins={"VIN-0001"},
+            soak_fuel_amount=2 * 10**9,
+        )
+        _, report = run_campaign(soaked_spec(), faults=faults)
+        assert report.status == "succeeded"
+        assert report.updated == 6
+
+    def test_seeded_fuel_rate_is_deterministic(self):
+        def once():
+            faults = FaultPlan(
+                seed=11, soak_fuel_rate=0.5, soak_fuel_amount=2 * 10**9
+            )
+            _, report = run_campaign(
+                soaked_spec(max_fuel_delta=10**9), faults=faults
+            )
+            return report.status, json.dumps(
+                report.to_dict(), sort_keys=True
+            )
+
+        (status, blob), (again_status, again_blob) = once(), once()
+        assert status == again_status and blob == again_blob
+
     def test_without_soak_policy_the_trap_ships(self):
         # The control case: same fault, no soak gate — the blind canary
         # pause promotes the misbehaving plug-in to the whole fleet.
@@ -180,7 +229,72 @@ class TestSoakRollback:
         assert report.updated == 6
 
 
+class TestFuelRateSemantics:
+    """Direct evaluate() coverage of the per-activation fuel rate."""
+
+    @staticmethod
+    def _judge(policy, baseline_fuel, baseline_acts, fuel, acts):
+        from repro.telemetry.soak import SoakMonitor, VehicleBaseline
+
+        monitor = SoakMonitor(["VIN-X"])
+        monitor.observe("VIN-X", "swc", 0, acts, 0, fuel_used=fuel)
+        baseline = {
+            "VIN-X": VehicleBaseline(
+                "VIN-X", activations=baseline_acts, fuel_used=baseline_fuel
+            )
+        }
+        return policy.evaluate(baseline, monitor)
+
+    def test_rate_breach_normalizes_by_activation_delta(self):
+        policy = SoakPolicy(max_fuel_rate=50.0)
+        # 1000 fuel over 10 activations = 100/activation > 50.
+        verdict = self._judge(policy, 100, 5, 1100, 15)
+        assert not verdict.passed
+        ((vin, reason),) = verdict.anomalies
+        assert vin == "VIN-X" and "fuel rate 100.0/activation" in reason
+
+    def test_rate_within_allowance_passes(self):
+        policy = SoakPolicy(max_fuel_rate=150.0)
+        verdict = self._judge(policy, 100, 5, 1100, 15)
+        assert verdict.passed and verdict.anomalies == ()
+
+    def test_rate_skipped_without_activation_growth(self):
+        # No activation delta: nothing to normalize by, rate check is
+        # skipped (the absolute max_fuel_delta threshold covers this).
+        policy = SoakPolicy(max_fuel_rate=1.0)
+        verdict = self._judge(policy, 100, 5, 10_000, 5)
+        assert verdict.passed
+
+    def test_fuel_delta_checked_before_rate(self):
+        policy = SoakPolicy(max_fuel_delta=500, max_fuel_rate=1.0)
+        verdict = self._judge(policy, 100, 5, 1100, 15)
+        ((_, reason),) = verdict.anomalies
+        assert "fuel delta 1000 > 500" in reason
+
+    def test_negative_thresholds_rejected(self):
+        import pytest
+
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            SoakPolicy(max_fuel_delta=-1)
+        with pytest.raises(ConfigurationError):
+            SoakPolicy(max_fuel_rate=-0.5)
+
+
 class TestSoakPersistence:
+    def test_fuel_policy_round_trips(self):
+        policy = SoakPolicy(max_fuel_delta=5_000, max_fuel_rate=12.5)
+        assert SoakPolicy.from_dict(policy.to_dict()) == policy
+        # Payloads persisted before the fuel thresholds existed load
+        # with both checks disabled.
+        legacy = dict(policy.to_dict())
+        del legacy["max_fuel_delta"]
+        del legacy["max_fuel_rate"]
+        loaded = SoakPolicy.from_dict(legacy)
+        assert loaded.max_fuel_delta is None
+        assert loaded.max_fuel_rate is None
+
     def test_spec_with_soak_round_trips(self):
         from repro.campaign.spec import CampaignSpec
 

@@ -268,6 +268,23 @@ class TestMetricSetShim:
         assert summary["lat.mean"] == 15 and summary["lat.count"] == 2
         assert dict(iter(metrics))["hits"] == 1
 
+    def test_shim_adopts_shared_registry(self):
+        # Legacy call sites handed the control plane's registry record
+        # into the same store GET /v1/metrics and CI snapshots serve —
+        # not a private sink nothing reads.
+        from repro.sim.tracing import MetricSet
+
+        registry = MetricsRegistry()
+        with pytest.warns(DeprecationWarning):
+            metrics = MetricSet(registry)
+        assert metrics.registry is registry
+        metrics.incr("gateway.requests")
+        assert registry.counter_value("gateway.requests") == 1
+        # Counters recorded through the shim show up in the registry's
+        # deterministic snapshot shape, round-trippable through JSON.
+        snapshot = json.loads(json.dumps(registry.snapshot()))
+        assert snapshot["counters"]["gateway.requests"] == 1
+
 
 # -- soak policy ---------------------------------------------------------------
 
@@ -325,8 +342,9 @@ class TestSoakPolicy:
         monitor = SoakMonitor(["VIN-1"])
         monitor.observe("VIN-1", "swc-a", 1, 10, 4)
         monitor.observe("VIN-1", "swc-b", 2, 20, 8)
-        monitor.observe("VIN-1", "swc-a", 3, 30, 4)  # latest per SW-C wins
-        assert monitor.totals("VIN-1") == (5, 50, 12)
+        monitor.observe("VIN-1", "swc-a", 3, 30, 4, fuel_used=100)
+        # Latest report per SW-C wins; fuel rides as the fourth total.
+        assert monitor.totals("VIN-1") == (5, 50, 12, 100)
         assert monitor.samples("VIN-1") == 3
 
     def test_unmonitored_vins_ignored(self):
