@@ -21,6 +21,7 @@ from repro.core.testbench import PluginTestBench
 from repro.sim import SECOND
 from repro.vm.disasm import disassemble
 from repro.vm.loader import compile_plugin
+from repro.vm.verify import VerifyLimits, verify_binary
 
 CRUISE_FILTER_SOURCE = """
 ; cruise filter: rate-limit speed commands to +/-5 per step.
@@ -90,6 +91,13 @@ def bench_phase() -> bytes:
           f"entries: {sorted(binary.entries)}")
     print("   " + head.replace("\n", "\n   "))
     print("   ...")
+
+    print("== 2b. static verification (what the upload gate runs) ==")
+    report = verify_binary(binary, VerifyLimits(num_ports=2))
+    print(f"   {report.summary()}")
+    for entry, bound in sorted(report.entry_fuel.items()):
+        print(f"   worst-case fuel {entry}: {bound}")
+    assert report.clean, report.render(binary)
     return binary.raw
 
 

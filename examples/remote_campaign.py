@@ -52,6 +52,15 @@ def main() -> None:
         for row in client.vehicles():
             print(f"   {row['vin']}  {row['model']:<12} {row['region']}")
 
+        print("== static-verification record of the APP, over HTTP ==")
+        verification = client.verification(APP)
+        for plugin, report in sorted(verification["reports"].items()):
+            print(
+                f"   {plugin}: {report['verdict']} "
+                f"(fuel bounds: {report['entry_fuel']})"
+            )
+        assert verification["ok"], verification
+
         print("== stage a canary campaign with a soak gate, over HTTP ==")
         spec = dataclasses.replace(
             canary_campaign(APP, fractions=(0.34, 1.0), retry_budget=1),

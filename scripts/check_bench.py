@@ -30,6 +30,7 @@ REQUIRED = (
     "BENCH_fleetapi.json",
     "BENCH_gateway.json",
     "BENCH_telemetry.json",
+    "BENCH_verify.json",
 )
 
 #: (file, section, row-match, field, ceiling).  Rows are matched by
@@ -56,6 +57,13 @@ PERF_CEILINGS = (
     (
         "BENCH_gateway.json", "concurrent_query_throughput",
         {}, "p95_ms", 2000.0,
+    ),
+    # Static verification of a ~3.6k-instruction plug-in (CFG build,
+    # interval stack analysis to fixpoint, fuel DFS): measured ~35ms;
+    # the ceiling guards against a quadratic fixpoint sneaking in.
+    (
+        "BENCH_verify.json", "verify_size_sweep",
+        {"blocks": 512}, "wall_s", 0.5,
     ),
 )
 

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""AST linter for the repo's two hand-defended invariants.
+
+Every PR so far has protected the same two properties by review alone;
+this makes them machine-checked:
+
+1. **Byte-identical replay** — the simulation core must draw all
+   randomness from the seeded kernel RNG and all time from simulated
+   time.  Unseeded ``random.*`` calls and wall-clock reads
+   (``time.time``, ``datetime.now``, ...) inside
+   ``src/repro/{sim,core,campaign,fes}`` break determinism silently.
+2. **Single-threaded simulator** — gateway/HTTP-worker code must reach
+   the simulator only through the command pump (``pump.py``).  A direct
+   ``.sim`` attribute access anywhere else in
+   ``src/repro/server/gateway`` is a thread-safety hazard.
+
+Violations are keyed ``relpath::scope::rule`` (scope = enclosing
+function qualname), so entries survive line drift.  Existing,
+reviewed-and-accepted occurrences live in ``scripts/lint_allowlist.txt``;
+anything not listed there fails the build.  Stale allowlist entries are
+reported as warnings so the list shrinks as code is cleaned up.
+
+Usage: ``python scripts/lint_invariants.py`` (exit 1 on new violations).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+ALLOWLIST = Path(__file__).resolve().parent / "lint_allowlist.txt"
+
+#: Directories whose code must be deterministic (rule scopes 1).
+DETERMINISTIC_DIRS = (
+    "src/repro/sim",
+    "src/repro/core",
+    "src/repro/campaign",
+    "src/repro/fes",
+)
+
+#: Gateway directory where ``.sim`` access is pump-only (rule scope 2).
+GATEWAY_DIR = "src/repro/server/gateway"
+GATEWAY_EXEMPT_FILES = ("pump.py",)
+
+#: Dotted call names that read the wall clock.
+WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "date.today",
+    "datetime.date.today",
+}
+
+RULE_RANDOM = "unseeded-random"
+RULE_WALL_CLOCK = "wall-clock"
+RULE_SIM_ACCESS = "sim-access"
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class Visitor(ast.NodeVisitor):
+    """Collects (scope, rule, lineno, detail) violations of one file."""
+
+    def __init__(self, deterministic: bool, gateway: bool) -> None:
+        self.deterministic = deterministic
+        self.gateway = gateway
+        self.scope: list[str] = []
+        self.violations: list[tuple[str, str, int, str]] = []
+
+    def _scope(self) -> str:
+        return ".".join(self.scope) if self.scope else "<module>"
+
+    def _flag(self, rule: str, node: ast.AST, detail: str) -> None:
+        self.violations.append((self._scope(), rule, node.lineno, detail))
+
+    # -- scope tracking ----------------------------------------------------
+
+    def _visit_scoped(self, node) -> None:
+        self.scope.append(node.name)
+        self.generic_visit(node)
+        self.scope.pop()
+
+    visit_FunctionDef = _visit_scoped
+    visit_AsyncFunctionDef = _visit_scoped
+    visit_ClassDef = _visit_scoped
+
+    # -- rules -------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.deterministic:
+            name = dotted_name(node.func)
+            if name is not None:
+                if name.startswith("random.") and name != "random.Random":
+                    self._flag(RULE_RANDOM, node, name)
+                elif name in WALL_CLOCK_CALLS:
+                    self._flag(RULE_WALL_CLOCK, node, name)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if self.gateway and node.attr == "sim":
+            self._flag(
+                RULE_SIM_ACCESS, node, dotted_name(node) or "<expr>.sim"
+            )
+        self.generic_visit(node)
+
+
+def lint_file(path: Path) -> list[tuple[str, str, int, str]]:
+    rel = path.relative_to(ROOT).as_posix()
+    deterministic = any(rel.startswith(d + "/") for d in DETERMINISTIC_DIRS)
+    gateway = (
+        rel.startswith(GATEWAY_DIR + "/")
+        and path.name not in GATEWAY_EXEMPT_FILES
+    )
+    if not deterministic and not gateway:
+        return []
+    tree = ast.parse(path.read_text(), filename=rel)
+    visitor = Visitor(deterministic, gateway)
+    visitor.visit(tree)
+    return visitor.violations
+
+
+def load_allowlist() -> set[str]:
+    if not ALLOWLIST.exists():
+        return set()
+    entries = set()
+    for line in ALLOWLIST.read_text().splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            entries.add(line)
+    return entries
+
+
+def main() -> int:
+    allowed = load_allowlist()
+    used: set[str] = set()
+    failures: list[str] = []
+    for path in sorted((ROOT / "src" / "repro").rglob("*.py")):
+        for scope, rule, lineno, detail in lint_file(path):
+            rel = path.relative_to(ROOT).as_posix()
+            key = f"{rel}::{scope}::{rule}"
+            if key in allowed:
+                used.add(key)
+                continue
+            failures.append(f"{rel}:{lineno}: [{rule}] {detail} in {scope}")
+    for failure in failures:
+        print(f"FAIL {failure}", file=sys.stderr)
+    for stale in sorted(allowed - used):
+        print(f"warn: stale allowlist entry {stale}", file=sys.stderr)
+    if failures:
+        print(
+            f"\n{len(failures)} invariant violation(s). Either fix them or, "
+            f"for reviewed exceptions, add the printed key to "
+            f"{ALLOWLIST.relative_to(ROOT)}.",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"ok   lint_invariants: no new violations "
+        f"({len(used)}/{len(allowed)} allowlist entries in use)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Statically verify every example/built-in plug-in binary.
+
+CI runs this after the test suite: each APP factory the repo ships
+(the remote-control example platform app, the cruise-filter and
+federated-speed-advisory example apps, and a synthetic workload app)
+is passed through the same verifier the upload gate runs.  Any
+error-tier finding fails the build — the examples are the reference
+plug-ins, so they must stay deployable.
+
+Usage: ``python scripts/verify_plugins.py`` (add ``-v`` for the full
+annotated reports).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.server.database import Database  # noqa: E402
+from repro.server.services.appstore import AppStore  # noqa: E402
+from repro.vm.loader import unpack  # noqa: E402
+
+
+def _load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        name, ROOT / "examples" / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def collect_apps() -> list:
+    """Every APP the repo ships as reference material."""
+    from repro.fes.example_platform import PHONE_ADDRESS, make_remote_control_app
+    from repro.workloads import SyntheticConfig, populate_server
+
+    apps = [make_remote_control_app(PHONE_ADDRESS)]
+
+    plugin_development = _load_example("plugin_development")
+    binary_raw = plugin_development.compile_plugin(
+        plugin_development.CRUISE_FILTER_SOURCE, mem_hint=8
+    ).raw
+    apps.append(plugin_development.make_cruise_app(binary_raw))
+
+    federated = _load_example("federated_speed_advisory")
+    apps.append(federated.make_advisory_app())
+
+    # One synthetic workload app, uploaded through the real gate (the
+    # generator calls AppStore.upload internally, so a verification
+    # regression there shows up as a failed populate).
+    from repro.network.sockets import NetworkFabric
+    from repro.server.server import TrustedServer
+    from repro.sim import Simulator
+
+    server = TrustedServer(NetworkFabric(Simulator()))
+    populate_server(server.api, SyntheticConfig(), n_apps=2, n_vehicles=0)
+    apps.extend(server.db.apps[name] for name in sorted(server.db.apps))
+    return apps
+
+
+def main(argv: list[str]) -> int:
+    verbose = "-v" in argv
+    store = AppStore(Database())
+    failures = 0
+    for app in collect_apps():
+        verification = store.verify_app(app)
+        for plugin_name in sorted(verification.reports):
+            report = verification.reports[plugin_name]
+            status = report.verdict
+            print(f"{status:>8}  {app.name}/{plugin_name}  {report.summary()}")
+            if verbose or not report.ok:
+                binary = unpack(app.plugins[plugin_name].binary)
+                print(report.render(binary))
+            if not report.ok:
+                failures += 1
+    if failures:
+        print(f"FAIL {failures} plug-in binary(ies) failed verification",
+              file=sys.stderr)
+        return 1
+    print("ok   verify_plugins: all example plug-ins verify")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -48,6 +48,7 @@ from repro.campaign.report import (
 from repro.campaign.spec import CampaignSpec
 from repro.errors import ConfigurationError
 from repro.server.models import InstallStatus
+from repro.server.services.envelope import ErrorCode
 from repro.server.services.campaigns import (
     PHASE_ROLLING_BACK,
     CampaignService,
@@ -202,6 +203,18 @@ class CampaignEngine:
             self._bus_t0 = (self._bus.published(), self._bus.dropped())
         pusher = self._api.pusher
         self._pusher_t0 = (pusher.pushed, pusher.dropped_messages)
+        # Pre-flight: statically verify the target APP before wave 1.
+        # The upload gate already rejects error-tier binaries, but an
+        # APP seeded around the store (migration, direct DB insert)
+        # would otherwise only fail on vehicles mid-rollout.
+        preflight = self._api.store.preflight(self.spec.app_name)
+        if not preflight.ok and preflight.code is ErrorCode.VERIFICATION_FAILED:
+            self._log(
+                "verification_failed",
+                detail="; ".join(preflight.reasons) or "static verification failed",
+            )
+            self._finish(HALTED)
+            return
         if self.spec.soak is not None:
             self._baseline = self._capture_baseline(targets)
             self._log(

@@ -125,6 +125,28 @@ class FleetClient:
         """Live metrics + bus + stream snapshots (CI artifact shape)."""
         return self.call("GET", "/v1/metrics")
 
+    # -- app store -------------------------------------------------------------
+
+    def upload_app(self, app, version_upload: bool = False) -> dict:
+        """Upload an APP through the verified store gate.
+
+        ``app`` may be the :class:`~repro.server.models.App` dataclass
+        or its dict form (binaries base64-encoded).  Raises
+        :class:`~repro.server.services.envelope.ApiError` with code
+        ``VERIFICATION_FAILED`` when any plug-in binary carries
+        error-tier findings — identical to the in-process gate.
+        """
+        app_dict = app.to_dict() if hasattr(app, "to_dict") else app
+        return self.call(
+            "POST",
+            "/v1/apps",
+            body={"app": app_dict, "version_upload": version_upload},
+        )
+
+    def verification(self, app: str) -> dict:
+        """Latest static-verification report recorded for ``app``."""
+        return self.call("GET", f"/v1/apps/{app}/verification")
+
     # -- deployments -----------------------------------------------------------
 
     def deploy(

@@ -27,6 +27,9 @@ class Database:
         self.vehicles: dict[str, Vehicle] = {}
         self.apps: dict[str, App] = {}
         self.campaigns: dict[str, CampaignRecord] = {}
+        #: Latest static-verification outcome per APP name (kept even
+        #: for rejected uploads so the failure stays queryable).
+        self.verifications: dict[str, object] = {}
 
     # -- users ----------------------------------------------------------------
 
@@ -144,6 +147,28 @@ class Database:
         except KeyError:
             raise UnknownEntityError(
                 f"no campaign {campaign_id!r}"
+            ) from None
+
+    # -- verifications ----------------------------------------------------------
+
+    def record_verification(self, verification) -> None:
+        """Store the latest static-verification outcome for one APP.
+
+        One row per APP name (an :class:`AppVerification` from the app
+        store); re-uploads and new versions overwrite it, so the table
+        always answers "what did the verifier say about the version the
+        store last saw" — including rejected uploads, which clients can
+        query to learn *why* the upload bounced.
+        """
+        self.verifications[verification.app_name] = verification
+
+    def verification(self, app_name: str):
+        """Latest verification record of ``app_name``; raises if none."""
+        try:
+            return self.verifications[app_name]
+        except KeyError:
+            raise UnknownEntityError(
+                f"no verification record for app {app_name!r}"
             ) from None
 
     # -- installations ----------------------------------------------------------

@@ -18,6 +18,8 @@ GET    /v1/vehicles                     all VehicleView rows
 POST   /v1/vehicles/query               FleetSelector portal query
 GET    /v1/vehicles/{vin}               one VehicleView
 GET    /v1/vehicles/{vin}/health        latest DiagMessage per SW-C
+POST   /v1/apps                         upload an app (verified)
+GET    /v1/apps/{app}/verification      static-verification report
 POST   /v1/deployments                  batch deploy an app
 GET    /v1/deployments/{vin}/{app}      install status + ack tally
 GET    /v1/campaigns                    campaign records
@@ -34,6 +36,8 @@ from typing import Any, Callable, Optional
 
 from repro.campaign.faults import FaultPlan
 from repro.campaign.spec import CampaignSpec
+from repro.errors import ConfigurationError
+from repro.server.models import App
 from repro.server.services.envelope import ErrorCode, Response
 from repro.server.services.selector import FleetSelector
 
@@ -137,6 +141,38 @@ def _vehicle(gateway, params, query, body) -> Response:
 
 def _vehicle_health(gateway, params, query, body) -> Response:
     return gateway.api.vehicles.health(params["vin"])
+
+
+def _upload_app(gateway, params, query, body) -> Response:
+    """Verified APP upload; binaries arrive base64-encoded.
+
+    A rejection carries ``VERIFICATION_FAILED`` (HTTP 422) with the
+    per-plug-in reports in the payload — the same envelope the
+    in-process ``AppStore.upload`` returns.
+    """
+    body = body or {}
+    payload = body.get("app") or {}
+    missing = [key for key in ("name", "version", "plugins")
+               if not payload.get(key)]
+    if missing:
+        return Response.failure(
+            ErrorCode.INVALID_REQUEST,
+            f"app payload missing {', '.join(missing)}",
+        )
+    try:
+        app = App.from_dict(payload)
+    except (KeyError, TypeError, ValueError, ConfigurationError) as exc:
+        return Response.failure(
+            ErrorCode.INVALID_REQUEST, f"malformed app payload: {exc}"
+        )
+    if body.get("version_upload"):
+        return gateway.api.store.upload_version(app)
+    return gateway.api.store.upload(app)
+
+
+def _app_verification(gateway, params, query, body) -> Response:
+    """Latest static-verification report recorded for one APP."""
+    return gateway.api.store.verification(params["app"])
 
 
 def _deploy(gateway, params, query, body) -> Response:
@@ -248,6 +284,8 @@ def build_router() -> Router:
     router.add("POST", "/v1/vehicles/query", _vehicles_query)
     router.add("GET", "/v1/vehicles/{vin}", _vehicle)
     router.add("GET", "/v1/vehicles/{vin}/health", _vehicle_health)
+    router.add("POST", "/v1/apps", _upload_app)
+    router.add("GET", "/v1/apps/{app}/verification", _app_verification)
     router.add("POST", "/v1/deployments", _deploy)
     router.add("GET", "/v1/deployments/{vin}/{app}", _deployment_status)
     router.add("GET", "/v1/campaigns", _campaigns)

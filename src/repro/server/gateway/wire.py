@@ -32,6 +32,7 @@ HTTP_STATUS = {
     ErrorCode.CAMPAIGN_STATE: 409,
     ErrorCode.INCOMPATIBLE: 422,
     ErrorCode.NOT_PERSISTABLE: 422,
+    ErrorCode.VERIFICATION_FAILED: 422,
     ErrorCode.INVALID_REQUEST: 400,
 }
 

@@ -11,6 +11,7 @@ model, where the plug-ins go and how their ports connect.
 
 from __future__ import annotations
 
+import base64
 import enum
 from dataclasses import dataclass, field
 from typing import Optional
@@ -258,6 +259,21 @@ class PluginDescriptor:
                 f"duplicate port names on plug-in {self.name}"
             )
 
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "binary_b64": base64.b64encode(self.binary).decode("ascii"),
+            "port_names": list(self.port_names),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PluginDescriptor":
+        return cls(
+            name=data["name"],
+            binary=base64.b64decode(data["binary_b64"]),
+            port_names=tuple(data.get("port_names") or ()),
+        )
+
 
 class ConnectionKind(enum.Enum):
     """Connection grammar of a SwConf."""
@@ -278,6 +294,27 @@ class ConnectionSpec:
     target_plugin: str = ""
     target_port: str = ""
 
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind.value,
+            "plugin": self.plugin,
+            "port": self.port,
+            "target_virtual": self.target_virtual,
+            "target_plugin": self.target_plugin,
+            "target_port": self.target_port,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ConnectionSpec":
+        return cls(
+            kind=ConnectionKind(data["kind"]),
+            plugin=data["plugin"],
+            port=data["port"],
+            target_virtual=data.get("target_virtual", ""),
+            target_plugin=data.get("target_plugin", ""),
+            target_port=data.get("target_port", ""),
+        )
+
 
 @dataclass(frozen=True)
 class ExternalSpec:
@@ -287,6 +324,23 @@ class ExternalSpec:
     message_name: str
     plugin: str
     port: str
+
+    def to_dict(self) -> dict:
+        return {
+            "endpoint": self.endpoint,
+            "message_name": self.message_name,
+            "plugin": self.plugin,
+            "port": self.port,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExternalSpec":
+        return cls(
+            endpoint=data["endpoint"],
+            message_name=data["message_name"],
+            plugin=data["plugin"],
+            port=data["port"],
+        )
 
 
 @dataclass(frozen=True)
@@ -303,6 +357,30 @@ class SwConf:
             if plugin == plugin_name:
                 return swc
         return None
+
+    def to_dict(self) -> dict:
+        return {
+            "model": self.model,
+            "placements": [list(pair) for pair in self.placements],
+            "connections": [c.to_dict() for c in self.connections],
+            "externals": [e.to_dict() for e in self.externals],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SwConf":
+        return cls(
+            model=data["model"],
+            placements=tuple(
+                (plugin, swc) for plugin, swc in data.get("placements") or []
+            ),
+            connections=tuple(
+                ConnectionSpec.from_dict(c)
+                for c in data.get("connections") or []
+            ),
+            externals=tuple(
+                ExternalSpec.from_dict(e) for e in data.get("externals") or []
+            ),
+        )
 
 
 @dataclass
@@ -324,6 +402,36 @@ class App:
 
     def total_binary_size(self) -> int:
         return sum(len(p.binary) for p in self.plugins.values())
+
+    def to_dict(self) -> dict:
+        """Wire form for HTTP upload; binaries travel base64-encoded."""
+        return {
+            "name": self.name,
+            "version": self.version,
+            "plugins": {
+                name: descriptor.to_dict()
+                for name, descriptor in sorted(self.plugins.items())
+            },
+            "sw_confs": [conf.to_dict() for conf in self.sw_confs],
+            "dependencies": list(self.dependencies),
+            "conflicts": list(self.conflicts),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "App":
+        return cls(
+            name=data["name"],
+            version=data.get("version", ""),
+            plugins={
+                name: PluginDescriptor.from_dict(descriptor)
+                for name, descriptor in (data.get("plugins") or {}).items()
+            },
+            sw_confs=[
+                SwConf.from_dict(conf) for conf in data.get("sw_confs") or []
+            ],
+            dependencies=tuple(data.get("dependencies") or ()),
+            conflicts=tuple(data.get("conflicts") or ()),
+        )
 
 
 __all__ = [

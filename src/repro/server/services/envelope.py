@@ -40,6 +40,8 @@ class ErrorCode(enum.Enum):
     INVALID_STATE = "invalid_state"
     NOTHING_TO_DO = "nothing_to_do"
     VERSION_UNCHANGED = "version_unchanged"
+    # static bytecode verification (upload gate / campaign pre-flight)
+    VERIFICATION_FAILED = "verification_failed"
     # campaign control plane
     NOT_PERSISTABLE = "not_persistable"
     CAMPAIGN_STATE = "campaign_state"

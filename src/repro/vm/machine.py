@@ -167,6 +167,11 @@ class Vm:
                 raise FuelExhaustedError(
                     f"fuel budget of {budget} exhausted at pc={pc}"
                 )
+            if pc + spec.size > len(code):
+                raise self._trap(
+                    f"truncated {spec.mnemonic} at {pc}: operand runs "
+                    f"off code end"
+                )
             operand = 0
             if spec.operand == "i32":
                 operand = struct.unpack_from("<i", code, pc + 1)[0]

@@ -1,0 +1,43 @@
+"""repro.vm.verify — static verification of plug-in bytecode.
+
+Proves safety properties of a :class:`~repro.vm.loader.PluginBinary`
+before deployment instead of discovering faults at runtime on a fleet:
+instruction-boundary integrity, abstract-interpretation stack analysis,
+constant-address memory bounds, port-index usage against the declared
+virtual ports, and worst-case fuel against the activation quota.
+
+Typical use::
+
+    from repro.vm.verify import VerifyLimits, verify_binary
+
+    report = verify_binary(binary, VerifyLimits(num_ports=4))
+    if not report.ok:
+        raise RejectUpload(report.render(binary))
+
+``python -m repro.vm.verify path/to/plugin.pib`` prints the annotated
+report for a binary (or assembly source) on disk.
+"""
+
+from repro.vm.verify.analyzer import (
+    DEFAULT_ENTRY_ARGS,
+    VerifyLimits,
+    verify_binary,
+    verify_container,
+)
+from repro.vm.verify.cfg import Cfg, Instruction, build_cfg
+from repro.vm.verify.report import Finding, Severity, VerificationReport
+from repro.vm.verify.stack import STACK_EFFECT
+
+__all__ = [
+    "DEFAULT_ENTRY_ARGS",
+    "VerifyLimits",
+    "verify_binary",
+    "verify_container",
+    "Cfg",
+    "Instruction",
+    "build_cfg",
+    "Finding",
+    "Severity",
+    "VerificationReport",
+    "STACK_EFFECT",
+]

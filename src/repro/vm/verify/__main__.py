@@ -1,0 +1,93 @@
+"""CLI: verify a plug-in binary (or assembly source) on disk.
+
+    python -m repro.vm.verify plugin.pib --ports 4
+    python -m repro.vm.verify plugin.asm --mem 8 --fuel 20000
+
+Files starting with the ``PIB1`` container magic are unpacked; anything
+else is treated as assembly source and compiled first.  Exits 1 when
+the report carries error-tier findings (the upload gate would reject
+the binary), 0 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+from repro.vm.loader import MAGIC, compile_plugin, unpack
+from repro.vm.verify.analyzer import VerifyLimits, verify_binary
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.vm.verify",
+        description="Statically verify a plug-in binary before deployment.",
+    )
+    parser.add_argument(
+        "path", help="plug-in container (.pib) or assembly source"
+    )
+    parser.add_argument(
+        "--ports",
+        type=int,
+        default=None,
+        metavar="N",
+        help="declared virtual-port count (enables port-index checks)",
+    )
+    parser.add_argument(
+        "--mem",
+        type=int,
+        default=None,
+        metavar="CELLS",
+        help="memory-pool size in cells (default: the binary's mem_hint)",
+    )
+    parser.add_argument(
+        "--fuel",
+        type=int,
+        default=VerifyLimits.fuel_per_activation,
+        metavar="UNITS",
+        help="fuel quota per activation (default %(default)s)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the report's wire form instead of the listing",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        raw = open(args.path, "rb").read()
+        if raw[: len(MAGIC)] == MAGIC:
+            binary = unpack(raw)
+        else:
+            mem_hint = 64 if args.mem is None else args.mem
+            binary = compile_plugin(
+                raw.decode("utf-8"), mem_hint=mem_hint
+            )
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except (ReproError, UnicodeDecodeError) as error:
+        print(f"error: {args.path}: {error}", file=sys.stderr)
+        return 2
+
+    limits = VerifyLimits(
+        fuel_per_activation=args.fuel,
+        memory_cells=args.mem,
+        num_ports=args.ports,
+    )
+    report = verify_binary(binary, limits)
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render(binary), end="")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:
+        raise SystemExit(0)  # e.g. piped into head

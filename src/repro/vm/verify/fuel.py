@@ -1,0 +1,149 @@
+"""Worst-case fuel estimation over the decoded CFG.
+
+Computes, per entry point, an upper bound on the fuel one activation
+can consume: exact on call-free acyclic code (the shape of every
+shipped example plug-in), and a safe over-approximation when calls are
+present (a callee that HALTs is charged as if it returned).
+
+Loops make worst-case fuel unbounded, which the paper's best-effort
+contract handles *at runtime* via the fuel quota — so a back edge is
+an info-tier finding carrying the per-iteration fuel of its cycle,
+and the entry's bound becomes ``None``.  Recursion additionally loses
+the call-depth guarantee the bound relies on, so it warns.
+
+The walk is an iterative three-color DFS over a dependency graph in
+which a CALL node depends on *both* its callee and its return
+continuation (their costs add), while branch nodes take the max of
+their successors.  An edge to a gray node is a cycle; the gray path
+slice gives the per-iteration fuel to report.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.vm import isa
+
+from repro.vm.verify.cfg import Cfg, Instruction
+from repro.vm.verify.report import (
+    Finding,
+    Severity,
+    KIND_FUEL_LOOP,
+    KIND_RECURSION,
+)
+
+_WHITE, _GRAY, _BLACK = 0, 1, 2
+
+
+def _deps(ins: Instruction) -> tuple[int, ...]:
+    """Cost-dependency targets of one instruction.
+
+    For CALL these are (callee, continuation) and costs *sum*; for
+    everything else they are the flow successors and costs *max*.
+    """
+    if ins.opcode == isa.CALL:
+        return (ins.operand, ins.next_offset)
+    return ins.successors()
+
+
+def analyze_fuel(
+    cfg: Cfg, entry: str, entry_offset: int
+) -> tuple[Optional[int], list[Finding]]:
+    """Worst-case fuel bound for ``entry`` (None when unbounded)."""
+    findings: list[Finding] = []
+    flagged: set[tuple[str, int]] = set()
+
+    def flag(severity: Severity, kind: str, message: str, pc: int) -> None:
+        if (kind, pc) not in flagged:
+            flagged.add((kind, pc))
+            findings.append(Finding(severity, kind, message, pc=pc, entry=entry))
+
+    if cfg.at(entry_offset) is None:
+        # Off-boundary entry; reported by the static checks.
+        return None, findings
+
+    color: dict[int, int] = {}
+    value: dict[int, Optional[int]] = {}
+    path: list[int] = []  # current gray chain, DFS order
+
+    def cycle_fuel(back_to: int) -> int:
+        """Fuel of one iteration of the cycle closing at ``back_to``."""
+        try:
+            start = path.index(back_to)
+        except ValueError:  # pragma: no cover - gray implies on path
+            start = 0
+        total = 0
+        for pc in path[start:]:
+            ins = cfg.at(pc)
+            if ins is not None:
+                total += ins.spec.fuel
+        return total
+
+    stack: list[tuple[int, int]] = [(entry_offset, 0)]
+    while stack:
+        pc, phase = stack.pop()
+        if phase == 0:
+            if color.get(pc, _WHITE) != _WHITE:
+                continue
+            ins = cfg.at(pc)
+            if ins is None:
+                # Transfer off an instruction boundary; the static
+                # checks already rejected it — cost it as zero so the
+                # rest of the entry still gets a number.
+                color[pc] = _BLACK
+                value[pc] = 0
+                continue
+            color[pc] = _GRAY
+            path.append(pc)
+            stack.append((pc, 1))
+            for dep in _deps(ins):
+                dep_color = color.get(dep, _WHITE)
+                if dep_color == _GRAY:
+                    if ins.opcode == isa.CALL and dep == ins.operand:
+                        flag(
+                            Severity.WARN,
+                            KIND_RECURSION,
+                            f"recursive CALL to 0x{dep:04x}; worst-case "
+                            f"fuel and call depth are unbounded",
+                            pc=pc,
+                        )
+                    else:
+                        flag(
+                            Severity.INFO,
+                            KIND_FUEL_LOOP,
+                            f"back edge to 0x{dep:04x}; the loop costs "
+                            f"{cycle_fuel(dep) } fuel per iteration, so "
+                            f"worst-case fuel is bounded only by the "
+                            f"activation quota",
+                            pc=pc,
+                        )
+                elif dep_color == _WHITE:
+                    stack.append((dep, 0))
+        else:
+            ins = cfg.at(pc)
+            assert ins is not None
+            deps = _deps(ins)
+            parts: list[Optional[int]] = [
+                value[d] if color.get(d) == _BLACK else None for d in deps
+            ]
+            result: Optional[int]
+            if not deps:
+                result = ins.spec.fuel
+            elif ins.opcode == isa.CALL:
+                if any(part is None for part in parts):
+                    result = None
+                else:
+                    result = ins.spec.fuel + sum(parts)  # type: ignore[arg-type]
+            else:
+                if any(part is None for part in parts):
+                    result = None
+                else:
+                    result = ins.spec.fuel + max(parts)  # type: ignore[type-var]
+            value[pc] = result
+            color[pc] = _BLACK
+            path.pop()
+
+    return value.get(entry_offset), findings
+
+
+__all__ = ["analyze_fuel"]

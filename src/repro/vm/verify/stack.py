@@ -1,0 +1,261 @@
+"""Abstract interpretation of operand-stack depth and call depth.
+
+The analysis tracks, for every reachable ``(pc, call-frames)`` state,
+an interval ``[lo, hi]`` of possible operand-stack depths.  Intervals
+are merged at control-flow joins (the classic verifier move: the join
+of two depths is their convex hull), which keeps the state space small
+while staying sound.
+
+Findings are classified from the *converged* intervals, merged per pc
+across call contexts — classifying during propagation would report a
+"guaranteed" underflow off whichever branch a depth-first walk happened
+to explore first, before the join widened the interval:
+
+* ``hi < pops``  — **every** depth reaching here underflows: error.
+* ``lo < pops``  — some path *may* underflow: warn (exploration
+  continues past it with ``lo`` clamped, so the surviving paths are
+  still covered).
+* symmetric logic against ``max_stack`` for overflow after pushes.
+* a CALL at frame depth ``max_call_depth`` is a call-stack-overflow
+  trap in that context: error.
+
+Calls are explored interprocedurally by pushing the return
+continuation onto the abstract frame tuple — the same shape the VM's
+``calls`` list has at runtime — so a callee's net stack effect needs no
+summaries and RET precision is exact.  The state space is bounded by
+``code size x call contexts``; a ``state_budget`` cap downgrades
+pathological binaries to a warning instead of hanging the upload path.
+"""
+
+from __future__ import annotations
+
+from repro.vm import isa
+
+from repro.vm.verify.cfg import Cfg
+from repro.vm.verify.report import (
+    Finding,
+    Severity,
+    KIND_ANALYSIS_BUDGET,
+    KIND_CALL_DEPTH,
+    KIND_MAYBE_OVERFLOW,
+    KIND_MAYBE_UNDERFLOW,
+    KIND_STACK_OVERFLOW,
+    KIND_STACK_UNDERFLOW,
+)
+
+#: ``opcode -> (pops, pushes)`` mirroring the interpreter exactly
+#: (DUP pops then re-pushes twice; STOREI pops address then value).
+STACK_EFFECT: dict[int, tuple[int, int]] = {
+    isa.NOP: (0, 0),
+    isa.HALT: (0, 0),
+    isa.PUSH: (0, 1),
+    isa.POP: (1, 0),
+    isa.DUP: (1, 2),
+    isa.SWAP: (2, 2),
+    isa.OVER: (2, 3),
+    isa.LOAD: (0, 1),
+    isa.STORE: (1, 0),
+    isa.LOADI: (1, 1),
+    isa.STOREI: (2, 0),
+    isa.ADD: (2, 1),
+    isa.SUB: (2, 1),
+    isa.MUL: (2, 1),
+    isa.DIV: (2, 1),
+    isa.MOD: (2, 1),
+    isa.NEG: (1, 1),
+    isa.AND: (2, 1),
+    isa.OR: (2, 1),
+    isa.XOR: (2, 1),
+    isa.NOT: (1, 1),
+    isa.SHL: (2, 1),
+    isa.SHR: (2, 1),
+    isa.EQ: (2, 1),
+    isa.NE: (2, 1),
+    isa.LT: (2, 1),
+    isa.LE: (2, 1),
+    isa.GT: (2, 1),
+    isa.GE: (2, 1),
+    isa.JMP: (0, 0),
+    isa.JZ: (1, 0),
+    isa.JNZ: (1, 0),
+    isa.CALL: (0, 0),
+    isa.RET: (0, 0),
+    isa.RDPORT: (0, 1),
+    isa.WRPORT: (1, 0),
+    isa.AVAIL: (0, 1),
+    isa.RECV: (0, 1),
+    isa.EMIT: (1, 0),
+    isa.TIME: (0, 1),
+}
+
+
+def analyze_stack(
+    cfg: Cfg,
+    entry: str,
+    entry_offset: int,
+    entry_depth: int,
+    max_stack: int,
+    max_call_depth: int,
+    state_budget: int,
+) -> list[Finding]:
+    """Explore one entry point; returns stack/call-depth findings."""
+    findings: list[Finding] = []
+
+    if cfg.at(entry_offset) is None:
+        # Entry lands off an instruction boundary; reported statically
+        # by the analyzer, nothing sound to explore from here.
+        return findings
+
+    # -- phase 1: propagate depth intervals to a fixpoint -------------------
+
+    # visited[(pc, frames)] = widest pre-instruction interval so far.
+    visited: dict[tuple[int, tuple[int, ...]], tuple[int, int]] = {}
+    work: list[tuple[int, tuple[int, ...], int, int]] = []
+    depth_violations: set[int] = set()
+    budget_hit = False
+    steps = 0
+
+    def propagate(pc: int, frames: tuple[int, ...], lo: int, hi: int) -> None:
+        key = (pc, frames)
+        seen = visited.get(key)
+        if seen is not None:
+            merged = (min(seen[0], lo), max(seen[1], hi))
+            if merged == seen:
+                return
+            visited[key] = merged
+            work.append((pc, frames, *merged))
+        else:
+            visited[key] = (lo, hi)
+            work.append((pc, frames, lo, hi))
+
+    propagate(entry_offset, (), entry_depth, entry_depth)
+    while work:
+        steps += 1
+        if steps > state_budget:
+            budget_hit = True
+            break
+        pc, frames, lo, hi = work.pop()
+        ins = cfg.at(pc)
+        if ins is None:
+            # Off-boundary or off-end transfer; flagged by the static
+            # jump-target / fall-off-end checks.
+            continue
+        pops, pushes = STACK_EFFECT[ins.opcode]
+        if hi < pops:
+            # Guaranteed underflow for every depth in this state: the
+            # trap stops execution, so nothing propagates past it.
+            continue
+        lo = max(lo, pops)
+        new_lo = lo - pops + pushes
+        new_hi = hi - pops + pushes
+        if new_lo > max_stack:
+            continue  # guaranteed overflow: trap, no successors
+        new_hi = min(new_hi, max_stack)
+
+        opcode = ins.opcode
+        if opcode == isa.HALT:
+            continue
+        if opcode == isa.RET:
+            if frames:
+                propagate(frames[-1], frames[:-1], new_lo, new_hi)
+            # RET at depth zero ends the activation cleanly.
+            continue
+        if opcode == isa.CALL:
+            if len(frames) >= max_call_depth:
+                depth_violations.add(pc)
+                continue
+            propagate(ins.operand, frames + (ins.next_offset,), new_lo, new_hi)
+            continue
+        for successor in ins.successors():
+            propagate(successor, frames, new_lo, new_hi)
+
+    # -- phase 2: classify from the converged intervals ---------------------
+
+    merged_by_pc: dict[int, tuple[int, int]] = {}
+    for (pc, _frames), (lo, hi) in visited.items():
+        seen = merged_by_pc.get(pc)
+        merged_by_pc[pc] = (
+            (lo, hi) if seen is None else (min(seen[0], lo), max(seen[1], hi))
+        )
+
+    if budget_hit:
+        findings.append(
+            Finding(
+                Severity.WARN,
+                KIND_ANALYSIS_BUDGET,
+                f"stack analysis stopped after {state_budget} states; "
+                f"unexplored paths are not covered by this report",
+                entry=entry,
+            )
+        )
+
+    for pc in sorted(merged_by_pc):
+        ins = cfg.at(pc)
+        if ins is None:
+            continue
+        lo, hi = merged_by_pc[pc]
+        pops, pushes = STACK_EFFECT[ins.opcode]
+        if hi < pops:
+            findings.append(
+                Finding(
+                    Severity.ERROR,
+                    KIND_STACK_UNDERFLOW,
+                    f"{ins.mnemonic} pops {pops} but the stack holds at "
+                    f"most {hi} value(s) on every path here",
+                    pc=pc,
+                    entry=entry,
+                )
+            )
+            continue
+        if lo < pops:
+            findings.append(
+                Finding(
+                    Severity.WARN,
+                    KIND_MAYBE_UNDERFLOW,
+                    f"{ins.mnemonic} pops {pops} but the stack may hold as "
+                    f"few as {lo} value(s) on some path",
+                    pc=pc,
+                    entry=entry,
+                )
+            )
+            lo = pops
+        new_lo = lo - pops + pushes
+        new_hi = hi - pops + pushes
+        if new_lo > max_stack:
+            findings.append(
+                Finding(
+                    Severity.ERROR,
+                    KIND_STACK_OVERFLOW,
+                    f"{ins.mnemonic} grows the stack to at least {new_lo} "
+                    f"(limit {max_stack}) on every path here",
+                    pc=pc,
+                    entry=entry,
+                )
+            )
+        elif new_hi > max_stack:
+            findings.append(
+                Finding(
+                    Severity.WARN,
+                    KIND_MAYBE_OVERFLOW,
+                    f"{ins.mnemonic} may grow the stack to {new_hi} "
+                    f"(limit {max_stack}) on some path",
+                    pc=pc,
+                    entry=entry,
+                )
+            )
+        if ins.opcode == isa.CALL and pc in depth_violations:
+            findings.append(
+                Finding(
+                    Severity.ERROR,
+                    KIND_CALL_DEPTH,
+                    f"CALL reaches call depth {max_call_depth}, the "
+                    f"interpreter's limit",
+                    pc=pc,
+                    entry=entry,
+                )
+            )
+
+    return findings
+
+
+__all__ = ["STACK_EFFECT", "analyze_stack"]

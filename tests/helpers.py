@@ -62,6 +62,22 @@ def make_binary(source: str = FORWARD_SOURCE, mem_hint: int = 16) -> bytes:
     return compile_plugin(source, mem_hint=mem_hint).raw
 
 
+def make_fat_binary(min_code_bytes: int = 40_000) -> bytes:
+    """A *valid* container whose code section exceeds ``min_code_bytes``.
+
+    For memory-budget tests: the upload gate statically verifies every
+    binary, so "big" can no longer be faked by padding a container with
+    garbage (the CRC check and the verifier both reject it).  This one
+    is NOP-padded real code — structurally sound, just obese.
+    """
+    source = (
+        ".entry on_message\n    POP\n    POP\n"
+        + "    NOP\n" * min_code_bytes
+        + "    HALT\n"
+    )
+    return compile_plugin(source, mem_hint=16).raw
+
+
 def link_unconnected(port_id: int) -> PlcLink:
     return PlcLink(port_id, LinkKind.UNCONNECTED)
 

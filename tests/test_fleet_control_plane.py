@@ -109,7 +109,7 @@ class TestEnvelopes:
             PluginDescriptor,
             SwConf,
         )
-        from tests.helpers import make_binary
+        from tests.helpers import make_fat_binary
 
         fleet = make_fleet(1)
         vin = fleet.vins[0]
@@ -119,7 +119,7 @@ class TestEnvelopes:
         assert fleet.installation_status(vin, APP) is InstallStatus.ACTIVE
         # v2 blows the SW-C memory budget: accepted into the store, but
         # undeployable.
-        fat = PluginDescriptor("fat_p", make_binary() + bytes(40_000), ("out",))
+        fat = PluginDescriptor("fat_p", make_fat_binary(40_000), ("out",))
         conf = SwConf(
             model=MODEL,
             placements=(("fat_p", "swc2"),),

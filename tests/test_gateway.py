@@ -561,3 +561,80 @@ class TestReplayIdentity:
         assert "campaign_done" in names and "soak_passed" in names
         assert client.stats()["unaccounted"] == 0
         gateway.detach()
+
+
+# -- app store over HTTP -------------------------------------------------------
+
+
+def _make_app(name, source, ports=("in", "out")):
+    from repro.server.models import (
+        App,
+        ConnectionKind,
+        ConnectionSpec,
+        PluginDescriptor,
+        SwConf,
+    )
+    from tests.helpers import make_binary
+
+    plugin = PluginDescriptor(f"{name}_p", make_binary(source), tuple(ports))
+    conf = SwConf(
+        model=MODEL,
+        placements=((plugin.name, "swc2"),),
+        connections=(
+            ConnectionSpec(
+                ConnectionKind.VIRTUAL, plugin.name, "out", target_virtual="V4"
+            ),
+        ),
+    )
+    return App(name, "1.0", {plugin.name: plugin}, [conf])
+
+
+GOOD_SOURCE = ".entry on_message\n    WRPORT 1\n    HALT\n"
+BAD_SOURCE = ".entry on_message\n    WRPORT 9\n    HALT\n"
+
+
+class TestAppStoreHTTP:
+    def test_upload_and_verification_round_trip(self, served):
+        fleet, gateway, client = served
+        outcome = client.upload_app(_make_app("http-good", GOOD_SOURCE))
+        assert outcome["name"] == "http-good"
+        verification = client.verification("http-good")
+        assert verification["ok"] and verification["app_name"] == "http-good"
+        report = verification["reports"]["http-good_p"]
+        assert report["verdict"] in {"ok", "clean"}
+        # The gateway serves the same record the in-process store holds.
+        local = fleet.api.store.verification("http-good").unwrap()
+        assert verification == local.to_dict()
+
+    def test_bad_binary_rejected_with_verification_failed(self, served):
+        fleet, gateway, client = served
+        bad = _make_app("http-bad", BAD_SOURCE)
+        with pytest.raises(ApiError) as excinfo:
+            client.upload_app(bad)
+        assert excinfo.value.code is ErrorCode.VERIFICATION_FAILED
+        assert HTTP_STATUS[ErrorCode.VERIFICATION_FAILED] == 422
+        assert any("port_bounds" in r for r in excinfo.value.reasons)
+        # Never entered the store: deploys against it find no app.
+        outcome = client.deploy("http-bad", fleet.vins[:1])
+        assert outcome["accepted"] == 0 and not outcome["all_accepted"]
+        # But the failed verification stays queryable for diagnosis.
+        verification = client.verification("http-bad")
+        assert not verification["ok"]
+
+    def test_preexisting_app_verification_served(self, served):
+        fleet, gateway, client = served
+        verification = client.verification(APP)
+        assert verification["ok"] and verification["clean"]
+
+    def test_unknown_app_verification_404(self, served):
+        fleet, gateway, client = served
+        with pytest.raises(ApiError) as excinfo:
+            client.verification("nope")
+        assert excinfo.value.code is ErrorCode.UNKNOWN_ENTITY
+
+    def test_malformed_app_body_invalid_request(self, served):
+        fleet, gateway, client = served
+        response = client.request(
+            "POST", "/v1/apps", body={"app": {"name": "x"}}
+        )
+        assert response.code is ErrorCode.INVALID_REQUEST

@@ -18,7 +18,7 @@ from repro.server.models import (
 )
 from repro.sim import SECOND
 from repro.workloads import SyntheticConfig, populate_server
-from tests.helpers import make_binary
+from tests.helpers import make_binary, make_fat_binary
 from tests.test_server_models import make_test_app
 
 
@@ -62,7 +62,9 @@ class TestFleetDeployment:
 class TestDependenciesAndConflicts:
     def _app_with_relation(self, name, deps=(), conflicts=()):
         """A minimal APP targeting the example vehicle's swc2."""
-        plugin = PluginDescriptor(f"{name}_p", make_binary(), ("out",))
+        # The forwarder writes local port 1, so both ports must be
+        # declared — the upload gate's verifier checks port indices.
+        plugin = PluginDescriptor(f"{name}_p", make_binary(), ("in", "out"))
         conf = SwConf(
             model="model-car-rpi",
             placements=((plugin.name, "swc2"),),
@@ -132,9 +134,7 @@ class TestDependenciesAndConflicts:
 
     def test_memory_budget_enforced_server_side(self, fleet3):
         web = fleet3.server.web
-        big_binary = make_binary() + bytes(40_000)
-        # Not a valid container after padding, but the server only
-        # checks sizes; use the raw size path.
+        big_binary = make_fat_binary(40_000)
         plugin = PluginDescriptor("fat_p", big_binary, ("out",))
         conf = SwConf(
             model="model-car-rpi",
